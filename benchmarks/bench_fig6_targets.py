@@ -1,0 +1,27 @@
+"""Figure 6: the table of nine target descriptions.
+
+Regenerates the paper's target inventory — operators, linked/emulated,
+scalar/vector conditional style, and cost-model source — and benchmarks how
+long building + auto-tuning a target takes.
+"""
+
+from conftest import write_result
+
+from repro.experiments import targets_table
+from repro.targets import all_targets
+from repro.targets.autotune import autotuned
+from repro.targets.builtin.languages import make_c99
+
+
+def test_fig6_targets_table(benchmark):
+    targets = benchmark.pedantic(all_targets, rounds=1, iterations=1)
+    table = targets_table(targets)
+    write_result("fig6_targets", "Figure 6 — target descriptions\n\n" + table)
+    assert len(targets) == 9
+
+
+def test_target_autotune_speed(benchmark):
+    """Auto-tuning a full C99 target (the paper: 'develop targets quickly')."""
+    base = make_c99()
+    tuned = benchmark(lambda: autotuned(base))
+    assert tuned.operator("pow.f64").cost > tuned.operator("add.f64").cost

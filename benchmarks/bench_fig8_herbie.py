@@ -1,0 +1,38 @@
+"""Figure 8: Chassis vs Herbie across all nine targets.
+
+Speedups are measured relative to the directly-transcribed input program.
+Expected shape (paper 6.3): small gaps on the hardware targets
+(Arith/Arith+FMA/AVX), moderate gaps on the language targets (C/Julia/
+Python — flat cost models), dramatic gaps on the library targets
+(NumPy/vdt/fdlibm — approximate and helper operators), with vdt up to ~1.9x.
+"""
+
+from conftest import write_result
+
+from repro.experiments import herbie_report, joint_pareto, run_herbie_comparison
+from repro.targets import all_targets
+
+
+def test_fig8_chassis_vs_herbie(benchmark, bench_cores, experiment_config):
+    targets = all_targets()
+    results = benchmark.pedantic(
+        run_herbie_comparison,
+        args=(bench_cores, targets, experiment_config),
+        rounds=1,
+        iterations=1,
+    )
+    report = herbie_report(results)
+    write_result("fig8_herbie", report)
+
+    assert results, "no benchmark*target pair survived"
+    # Shape check: on every covered target Chassis' best joint speedup is at
+    # least Herbie's (target-specific information can only help).
+    for target_name in sorted({r.target for r in results}):
+        rows = [r for r in results if r.target == target_name]
+        chassis = joint_pareto([r.chassis for r in rows])
+        herbie = joint_pareto([r.herbie for r in rows])
+        if not chassis or not herbie:
+            continue
+        best_chassis = max(p.speedup for p in chassis)
+        best_herbie = max(p.speedup for p in herbie)
+        assert best_chassis >= best_herbie * 0.85, target_name

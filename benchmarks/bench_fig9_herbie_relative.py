@@ -1,0 +1,37 @@
+"""Figure 9: Chassis speedup over *Herbie's* programs at matched accuracy.
+
+The same data as figure 8 viewed relative to Herbie: for each accuracy
+Herbie achieves, how much faster is Chassis' program at that accuracy?
+Expected shape (paper 6.3): ratios >= 1 almost everywhere, with occasional
+"tail" points < 1 where Chassis misses Herbie's most accurate program
+(about 3.5% of benchmarks in the paper).
+"""
+
+from conftest import write_result
+
+from repro.experiments import (
+    geomean,
+    herbie_relative_report,
+    run_herbie_comparison,
+    speedup_at_matched_accuracy,
+)
+from repro.targets import all_targets
+
+
+def test_fig9_speedup_over_herbie(benchmark, bench_cores, experiment_config):
+    targets = all_targets()
+    results = benchmark.pedantic(
+        run_herbie_comparison,
+        args=(bench_cores, targets, experiment_config),
+        rounds=1,
+        iterations=1,
+    )
+    report = herbie_relative_report(results)
+    write_result("fig9_herbie_relative", report)
+
+    ratios = []
+    for row in results:
+        ratios.extend(r for _a, r in speedup_at_matched_accuracy(row.chassis, row.herbie))
+    assert ratios
+    # Shape: overall geomean ratio is at or above parity.
+    assert geomean(ratios) >= 0.9

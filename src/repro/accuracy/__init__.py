@@ -1,0 +1,31 @@
+"""Accuracy machinery: ULP metrics, sampling, scoring, local error."""
+
+from .localerror import local_errors
+from .sampler import SampleConfig, SampleSet, SamplingError, sample_core
+from .scoring import pointwise_errors, score_program
+from .ulp import (
+    accuracy_bits,
+    bits_of_error,
+    float32_to_ordinal,
+    float64_to_ordinal,
+    ordinal_to_float32,
+    ordinal_to_float64,
+    ulps_between,
+)
+
+__all__ = [
+    "ulps_between",
+    "bits_of_error",
+    "accuracy_bits",
+    "float64_to_ordinal",
+    "ordinal_to_float64",
+    "float32_to_ordinal",
+    "ordinal_to_float32",
+    "SampleConfig",
+    "SampleSet",
+    "SamplingError",
+    "sample_core",
+    "score_program",
+    "pointwise_errors",
+    "local_errors",
+]

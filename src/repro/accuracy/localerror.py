@@ -1,0 +1,81 @@
+"""The local error heuristic (paper section 5.2, introduced by Herbie).
+
+Local error isolates the error *an operator itself introduces* from error
+inherited through its arguments: evaluate the operator's arguments exactly
+(correctly rounded into their formats), apply the floating-point operator
+once, and compare against the correctly-rounded true value of the node.  An
+operator with high local error is a rewrite candidate; an operator that
+merely passes along its children's error is not blamed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from ..ir.expr import App, Expr
+from ..ir.types import F64
+from ..rival.eval import DomainError, PrecisionExhausted, RivalEvaluator
+from ..targets.target import Target
+from .ulp import bits_of_error
+
+Path = tuple[int, ...]
+Point = Mapping[str, float]
+
+
+def local_errors(
+    program: Expr,
+    target: Target,
+    points: Sequence[Point],
+    ty: str = F64,
+    evaluator: RivalEvaluator | None = None,
+) -> dict[Path, float]:
+    """Mean local error (bits) of every target-operator node in ``program``.
+
+    Conditionals contribute through their branches; predicate and leaf
+    nodes have no local error.
+    """
+    evaluator = evaluator or RivalEvaluator()
+    impls = target.impl_registry()
+    results: dict[Path, float] = {}
+
+    for path, node in program.subexprs():
+        if not isinstance(node, App):
+            continue
+        spec = impls.get(node.op)
+        if spec is None:
+            continue  # conditionals, predicates, unknown ops
+        op = target.operator(node.op)
+        total, counted = 0.0, 0
+        for point in points:
+            err = _local_error_at(node, op, spec, target, point, evaluator)
+            if err is None:
+                continue
+            total += err
+            counted += 1
+        if counted:
+            results[path] = total / counted
+    return results
+
+
+def _local_error_at(
+    node: App, op, spec, target: Target, point: Point, evaluator: RivalEvaluator
+) -> float | None:
+    """Local error of one node at one point, or None when undefined there."""
+    exact_args = []
+    for arg, arg_ty in zip(node.args, spec.arg_types):
+        real_arg = target.desugar_expr(arg)
+        try:
+            exact_args.append(evaluator.eval(real_arg, point, arg_ty))
+        except (DomainError, PrecisionExhausted, KeyError):
+            return None
+    real_node = target.desugar_expr(node)
+    try:
+        exact_out = evaluator.eval(real_node, point, op.ret_type)
+    except (DomainError, PrecisionExhausted, KeyError):
+        return None
+    try:
+        approx_out = spec.impl(*exact_args)
+    except (OverflowError, ValueError, ZeroDivisionError):
+        approx_out = math.nan
+    return bits_of_error(approx_out, exact_out, op.ret_type)

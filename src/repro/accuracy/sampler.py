@@ -1,0 +1,224 @@
+"""Input sampling for accuracy measurement (paper section 2: "samples
+training and test inputs").
+
+Following Herbie, points are drawn uniformly over the *bit patterns* of the
+input format (so every binade is equally likely), then filtered to points
+where the expression is actually defined: the precondition holds and the
+correctly-rounded result exists and is finite.  Sampling is deterministic
+given a seed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from ..ir.fpcore import FPCore
+from ..ir.types import F32, F64
+from ..rival.eval import RivalEvaluator
+from .ulp import (
+    float32_to_ordinal,
+    float64_to_ordinal,
+    ordinal_to_float32,
+    ordinal_to_float64,
+)
+
+Point = dict[str, float]
+
+#: Largest ordinal for each format (finite values only).
+_MAX_ORDINAL_F64 = (0x7FE << 52) | 0xFFFFFFFFFFFFF  # largest finite double
+_MAX_ORDINAL_F32 = (0xFE << 23) | 0x7FFFFF
+
+
+@dataclass
+class SampleConfig:
+    """Sampling parameters."""
+
+    n_train: int = 128
+    n_test: int = 128
+    seed: int = 20250401
+    max_batches: int = 64
+    #: Require at least this many valid points or raise.
+    min_points: int = 8
+
+
+@dataclass
+class SampleSet:
+    """Sampled training and test points plus their exact values."""
+
+    train: list[Point]
+    test: list[Point]
+    #: Fraction of raw draws that were valid (diagnostic).
+    acceptance: float = 1.0
+    train_exact: list[float] = field(default_factory=list)
+    test_exact: list[float] = field(default_factory=list)
+
+
+class SamplingError(RuntimeError):
+    """Too few valid points could be found for a benchmark."""
+
+
+def _random_float(rng: random.Random, ty: str) -> float:
+    if ty == F32:
+        ordinal = rng.randint(-_MAX_ORDINAL_F32, _MAX_ORDINAL_F32)
+        return ordinal_to_float32(ordinal)
+    ordinal = rng.randint(-_MAX_ORDINAL_F64, _MAX_ORDINAL_F64)
+    return ordinal_to_float64(ordinal)
+
+
+@dataclass
+class _VarRange:
+    """Per-variable sampling region derived from the precondition.
+
+    ``lo``/``hi`` bound the variable itself; ``mag_lo`` bounds |var| away
+    from zero (from ``(< c (fabs x))``-shaped clauses).
+    """
+
+    lo: float = -math.inf
+    hi: float = math.inf
+    mag_lo: float = 0.0
+    mag_hi: float = math.inf
+
+
+def _collect_ranges(pre, arguments: tuple[str, ...]) -> dict[str, _VarRange]:
+    """Extract conservative per-variable bounds from a conjunction of
+    comparisons (bounds are a sampling heuristic only — the full
+    precondition is still checked on every candidate point)."""
+    from ..ir.expr import App, Num, Var
+
+    ranges = {name: _VarRange() for name in arguments}
+
+    def visit(node) -> None:
+        if not isinstance(node, App):
+            return
+        if node.op == "and":
+            for arg in node.args:
+                visit(arg)
+            return
+        if node.op not in ("<", "<=", ">", ">="):
+            return
+        left, right = node.args
+        if node.op in (">", ">="):
+            left, right = right, left  # normalize to "left < right"
+        # left < right with combinations of Var / Num / (fabs Var)
+        if isinstance(left, Num) and isinstance(right, Var):
+            r = ranges.get(right.name)
+            if r is not None:
+                r.lo = max(r.lo, float(left.value))
+        elif isinstance(left, Var) and isinstance(right, Num):
+            r = ranges.get(left.name)
+            if r is not None:
+                r.hi = min(r.hi, float(right.value))
+        elif (
+            isinstance(left, Num)
+            and isinstance(right, App)
+            and right.op == "fabs"
+            and isinstance(right.args[0], Var)
+        ):
+            r = ranges.get(right.args[0].name)
+            if r is not None:
+                r.mag_lo = max(r.mag_lo, float(left.value))
+        elif (
+            isinstance(left, App)
+            and left.op == "fabs"
+            and isinstance(left.args[0], Var)
+            and isinstance(right, Num)
+        ):
+            r = ranges.get(left.args[0].name)
+            if r is not None:
+                r.mag_hi = min(r.mag_hi, float(right.value))
+
+    if pre is not None:
+        visit(pre)
+    return ranges
+
+
+def _ordinal_bounds(value_lo: float, value_hi: float, ty: str) -> tuple[int, int]:
+    to_ordinal = float32_to_ordinal if ty == F32 else float64_to_ordinal
+    max_ordinal = _MAX_ORDINAL_F32 if ty == F32 else _MAX_ORDINAL_F64
+    lo = -max_ordinal if math.isinf(value_lo) else to_ordinal(value_lo)
+    hi = max_ordinal if math.isinf(value_hi) else to_ordinal(value_hi)
+    return min(lo, hi), max(lo, hi)
+
+
+def _random_in_range(rng: random.Random, rang: _VarRange, ty: str) -> float:
+    """Ordinal-uniform draw inside a variable's derived region."""
+    from_ordinal = ordinal_to_float32 if ty == F32 else ordinal_to_float64
+    if rang.mag_lo > 0.0 or rang.mag_hi < math.inf:
+        # Sample a magnitude, then a sign compatible with [lo, hi].
+        mag_hi = min(rang.mag_hi, max(abs(rang.lo), abs(rang.hi)))
+        lo_o, hi_o = _ordinal_bounds(max(rang.mag_lo, 0.0), mag_hi, ty)
+        lo_o = max(lo_o, 0)
+        magnitude = from_ordinal(rng.randint(lo_o, max(lo_o, hi_o)))
+        signs = []
+        if rang.hi > 0:
+            signs.append(1.0)
+        if rang.lo < 0:
+            signs.append(-1.0)
+        return magnitude * rng.choice(signs or [1.0])
+    lo_o, hi_o = _ordinal_bounds(rang.lo, rang.hi, ty)
+    return from_ordinal(rng.randint(lo_o, hi_o))
+
+
+def sample_core(
+    core: FPCore,
+    config: SampleConfig | None = None,
+    evaluator: RivalEvaluator | None = None,
+) -> SampleSet:
+    """Sample valid train/test points for an FPCore, with exact values.
+
+    A point is valid when the precondition holds and the correctly-rounded
+    value of the body exists and is finite.  The exact values are kept so
+    scoring never re-runs the oracle on the same points.
+    """
+    config = config or SampleConfig()
+    evaluator = evaluator or RivalEvaluator()
+    rng = random.Random(config.seed)
+    wanted = config.n_train + config.n_test
+    ranges = _collect_ranges(core.pre, core.arguments)
+
+    points: list[Point] = []
+    exacts: list[float] = []
+    attempts = 0
+    batch_size = max(wanted, 32)
+    for _batch in range(config.max_batches):
+        for _ in range(batch_size):
+            attempts += 1
+            point = {
+                name: _random_in_range(rng, ranges[name], core.precision)
+                for name in core.arguments
+            }
+            if core.pre is not None:
+                try:
+                    if not evaluator.eval_bool(core.pre, point):
+                        continue
+                except Exception:
+                    continue
+            try:
+                exact = evaluator.eval(core.body, point, core.precision)
+            except Exception:
+                continue
+            if not math.isfinite(exact):
+                continue
+            points.append(point)
+            exacts.append(exact)
+            if len(points) >= wanted:
+                break
+        if len(points) >= wanted:
+            break
+
+    if len(points) < max(config.min_points, 2):
+        raise SamplingError(
+            f"benchmark {core.name or '<anonymous>'}: "
+            f"only {len(points)} valid points in {attempts} draws"
+        )
+
+    n_train = min(config.n_train, len(points) * config.n_train // wanted or 1)
+    return SampleSet(
+        train=points[:n_train],
+        test=points[n_train:],
+        acceptance=len(points) / max(1, attempts),
+        train_exact=exacts[:n_train],
+        test_exact=exacts[n_train:],
+    )

@@ -1,0 +1,61 @@
+"""Whole-program accuracy scoring against the correctly-rounded oracle."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..fpeval.machine import compile_expr
+from ..ir.expr import Expr
+from ..ir.types import F64
+from ..targets.target import Target
+from .ulp import bits_of_error
+
+Point = Mapping[str, float]
+
+
+def score_program(
+    program: Expr,
+    target: Target,
+    points: Sequence[Point],
+    exact_values: Sequence[float],
+    ty: str = F64,
+) -> float:
+    """Mean bits of error of a float program over sampled points.
+
+    ``exact_values`` are the correctly-rounded values of the *benchmark's*
+    real expression at the same points (computed once per benchmark).  A
+    program that crashes on evaluation scores worst-case error.
+    """
+    if len(points) != len(exact_values):
+        raise ValueError("points and exact values must align")
+    try:
+        evaluator = compile_expr(program, target.impl_registry(), ty)
+    except KeyError:
+        return float(64 if ty == F64 else 32)
+    total = 0.0
+    for point, exact in zip(points, exact_values):
+        try:
+            approx = evaluator(point)
+        except (OverflowError, ValueError, ZeroDivisionError):
+            approx = float("nan")
+        total += bits_of_error(approx, exact, ty)
+    return total / max(1, len(points))
+
+
+def pointwise_errors(
+    program: Expr,
+    target: Target,
+    points: Sequence[Point],
+    exact_values: Sequence[float],
+    ty: str = F64,
+) -> list[float]:
+    """Bits of error at each point (used by regime inference)."""
+    evaluator = compile_expr(program, target.impl_registry(), ty)
+    errors: list[float] = []
+    for point, exact in zip(points, exact_values):
+        try:
+            approx = evaluator(point)
+        except (OverflowError, ValueError, ZeroDivisionError):
+            approx = float("nan")
+        errors.append(bits_of_error(approx, exact, ty))
+    return errors

@@ -1,0 +1,71 @@
+"""ULP distance and bits-of-error metrics.
+
+Herbie and Chassis measure accuracy as ``log2`` of the ULP distance between
+the computed result and the correctly-rounded true result (paper section
+6.2: accuracy is ``p - log2(ULPs)`` where ``p`` is the output precision).
+The ordinal encoding maps floats onto consecutive integers so that the ULP
+distance is an integer subtraction.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+import numpy as np
+
+from ..ir.types import F32, F64, TYPE_BITS
+
+
+def float64_to_ordinal(x: float) -> int:
+    """Map a binary64 value to an integer preserving numeric order."""
+    (bits,) = struct.unpack("<q", struct.pack("<d", x))
+    return bits if bits >= 0 else -(bits & 0x7FFFFFFFFFFFFFFF)
+
+
+def ordinal_to_float64(n: int) -> float:
+    """Inverse of :func:`float64_to_ordinal`."""
+    bits = n if n >= 0 else (-n) | (1 << 63)
+    (value,) = struct.unpack("<d", struct.pack("<Q", bits & 0xFFFFFFFFFFFFFFFF))
+    return value
+
+
+def float32_to_ordinal(x: float) -> int:
+    """Map a binary32 value (as an f32-representable float) to an ordinal."""
+    (bits,) = struct.unpack("<i", struct.pack("<f", np.float32(x)))
+    return bits if bits >= 0 else -(bits & 0x7FFFFFFF)
+
+
+def ordinal_to_float32(n: int) -> float:
+    """Inverse of :func:`float32_to_ordinal`."""
+    bits = n if n >= 0 else (-n) | (1 << 31)
+    (value,) = struct.unpack("<f", struct.pack("<I", bits & 0xFFFFFFFF))
+    return float(value)
+
+
+def ulps_between(a: float, b: float, ty: str = F64) -> int:
+    """Number of representable values between ``a`` and ``b`` in format ``ty``.
+
+    NaN compared with anything (including NaN-vs-non-NaN mismatch) yields
+    the worst case.  NaN vs NaN is a perfect match (both "error"), per the
+    operators-return-NaN-on-error semantics.
+    """
+    a_nan, b_nan = math.isnan(a), math.isnan(b)
+    if a_nan and b_nan:
+        return 0
+    if a_nan or b_nan:
+        return 1 << TYPE_BITS[ty]
+    if ty == F32:
+        return abs(float32_to_ordinal(a) - float32_to_ordinal(b))
+    return abs(float64_to_ordinal(a) - float64_to_ordinal(b))
+
+
+def bits_of_error(approx: float, exact: float, ty: str = F64) -> float:
+    """``log2`` of the ULP distance: 0 = correctly rounded, 64 = garbage."""
+    ulps = ulps_between(approx, exact, ty)
+    return min(float(TYPE_BITS[ty]), math.log2(ulps + 1))
+
+
+def accuracy_bits(approx: float, exact: float, ty: str = F64) -> float:
+    """Bits of accuracy: ``p - log2(ULPs)`` as reported in the paper."""
+    return TYPE_BITS[ty] - bits_of_error(approx, exact, ty)

@@ -1,0 +1,22 @@
+"""Baselines the paper compares against: Herbie and Clang."""
+
+from .clang import CONFIGS, ClangOutput, compile_all_configs, compile_clang
+from .herbie import (
+    HerbieOutput,
+    herbie_frontier_on_target,
+    herbie_ir_target,
+    lower_to_target,
+    run_herbie,
+)
+
+__all__ = [
+    "herbie_ir_target",
+    "run_herbie",
+    "lower_to_target",
+    "herbie_frontier_on_target",
+    "HerbieOutput",
+    "compile_clang",
+    "compile_all_configs",
+    "ClangOutput",
+    "CONFIGS",
+]

@@ -1,0 +1,12 @@
+"""Benchmark corpus: curated Herbie-style FPCores plus a seeded generator."""
+
+from .generator import generate_core, generate_suite
+from .suite import core_named, curated_suite, suite
+
+__all__ = [
+    "curated_suite",
+    "core_named",
+    "suite",
+    "generate_core",
+    "generate_suite",
+]

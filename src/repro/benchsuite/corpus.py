@@ -1,0 +1,348 @@
+"""Curated FPCore benchmark corpus.
+
+The paper evaluates on the 547 benchmarks shipped with Herbie 2.0.2, drawn
+from numerical-analysis textbooks, math libraries, and geometry/statistics
+kernels.  We curate a representative subset covering the same sources and
+failure modes — catastrophic cancellation, overflow in intermediates,
+series-expansion opportunities, helper-function opportunities — plus the
+paper's three section-6.4 case studies, and scale further with the seeded
+generator (:mod:`repro.benchsuite.generator`).
+
+Preconditions keep sampling efficient and match how Herbie's suite bounds
+its inputs.
+"""
+
+CORPUS_TEXT = r"""
+; --- the paper's case studies (section 6.4) -------------------------------
+
+(FPCore quadratic-mod (a b2 c)
+  :name "modified quadratic formula (paper 6.4)"
+  :pre (and (< 1e-6 a 1e6) (< -1e6 b2 1e6) (< -1e6 c 1e6))
+  (/ (+ (- b2) (sqrt (- (* b2 b2) (* a c)))) a))
+
+(FPCore ellipse-angle (a b theta)
+  :name "ellipse implicit-equation coefficient (paper 6.4)"
+  :pre (and (< 1e-3 a 1e3) (< 1e-3 b 1e3) (< -360 theta 360))
+  (+ (* (* a a) (* (sin (* (/ PI 180) theta)) (sin (* (/ PI 180) theta))))
+     (* (* b b) (* (cos (* (/ PI 180) theta)) (cos (* (/ PI 180) theta))))))
+
+(FPCore acoth (x)
+  :name "inverse hyperbolic cotangent (paper 2, 6.4)"
+  :pre (and (< 0.001 (fabs x)) (< (fabs x) 0.999))
+  (* 1/2 (log (/ (+ 1 x) (- 1 x)))))
+
+; --- classic cancellation repairs (Herbie motivating examples) -----------------
+
+(FPCore sqrt-sub (x)
+  :name "sqrt(x+1) - sqrt(x)"
+  :pre (and (<= 0 x) (<= x 1e18))
+  (- (sqrt (+ x 1)) (sqrt x)))
+
+(FPCore quad-plus (a b c)
+  :name "quadratic formula, + root"
+  :pre (and (< 1e-6 a 1e6) (< -1e6 b 1e6) (< -1e6 c 1e6))
+  (/ (+ (- b) (sqrt (- (* b b) (* 4 (* a c))))) (* 2 a)))
+
+(FPCore quad-minus (a b c)
+  :name "quadratic formula, - root"
+  :pre (and (< 1e-6 a 1e6) (< -1e6 b 1e6) (< -1e6 c 1e6))
+  (/ (- (- b) (sqrt (- (* b b) (* 4 (* a c))))) (* 2 a)))
+
+(FPCore expm1-naive (x)
+  :name "exp(x) - 1"
+  :pre (< -20 x 20)
+  (- (exp x) 1))
+
+(FPCore log1p-naive (x)
+  :name "log(1 + x)"
+  :pre (< -0.999 x 1e18)
+  (log (+ 1 x)))
+
+(FPCore cos-frac (x)
+  :name "(1 - cos(x)) / x^2"
+  :pre (and (< 1e-12 (fabs x)) (< (fabs x) 10))
+  (/ (- 1 (cos x)) (* x x)))
+
+(FPCore sin-frac (x)
+  :name "sin(x) / x"
+  :pre (and (< 1e-12 (fabs x)) (< (fabs x) 100))
+  (/ (sin x) x))
+
+(FPCore tan-sub-sin (x)
+  :name "tan(x) - sin(x)"
+  :pre (< -1.5 x 1.5)
+  (- (tan x) (sin x)))
+
+(FPCore exp-frac (x)
+  :name "(exp(x) - 1) / x"
+  :pre (and (< 1e-12 (fabs x)) (< (fabs x) 20))
+  (/ (- (exp x) 1) x))
+
+(FPCore log-sub (x)
+  :name "log(x+1) - log(x)"
+  :pre (< 1e-3 x 1e18)
+  (- (log (+ x 1)) (log x)))
+
+(FPCore rcp-diff (x)
+  :name "1/(x+1) - 1/x"
+  :pre (< 1e-3 x 1e15)
+  (- (/ 1 (+ x 1)) (/ 1 x)))
+
+(FPCore sqrt-sq-sub (x)
+  :name "sqrt(x^2 + 1) - x"
+  :pre (< 0 x 1e15)
+  (- (sqrt (+ (* x x) 1)) x))
+
+(FPCore sinh-naive (x)
+  :name "(exp(x) - exp(-x)) / 2"
+  :pre (< -20 x 20)
+  (/ (- (exp x) (exp (- x))) 2))
+
+(FPCore x-sub-sin (x)
+  :name "x - sin(x)"
+  :pre (< -3 x 3)
+  (- x (sin x)))
+
+(FPCore cos2-sin2 (x)
+  :name "cos(x)^2 - sin(x)^2"
+  :pre (< -10 x 10)
+  (- (* (cos x) (cos x)) (* (sin x) (sin x))))
+
+; --- math-library idioms --------------------------------------------------------
+
+(FPCore logistic (x)
+  :name "logistic function 1/(1+exp(-x))"
+  :pre (< -100 x 100)
+  (/ 1 (+ 1 (exp (- x)))))
+
+(FPCore softplus (x)
+  :name "softplus log(1 + exp(x))"
+  :pre (< -100 x 100)
+  (log (+ 1 (exp x))))
+
+(FPCore logsumexp2 (x y)
+  :name "log(exp(x) + exp(y))"
+  :pre (and (< -100 x 100) (< -100 y 100))
+  (log (+ (exp x) (exp y))))
+
+(FPCore hypot-naive (x y)
+  :name "sqrt(x^2 + y^2)"
+  :pre (and (< 1e-6 (fabs x) 1e8) (< 1e-6 (fabs y) 1e8))
+  (sqrt (+ (* x x) (* y y))))
+
+(FPCore norm3d (x y z)
+  :name "3-d Euclidean norm"
+  :pre (and (< 1e-6 (fabs x) 1e8) (< 1e-6 (fabs y) 1e8) (< 1e-6 (fabs z) 1e8))
+  (sqrt (+ (+ (* x x) (* y y)) (* z z))))
+
+(FPCore asinh-naive (x)
+  :name "log(x + sqrt(x^2 + 1))"
+  :pre (< -1e8 x 1e8)
+  (log (+ x (sqrt (+ (* x x) 1)))))
+
+(FPCore geo-mean (a b)
+  :name "geometric mean"
+  :pre (and (< 1e-8 a 1e8) (< 1e-8 b 1e8))
+  (sqrt (* a b)))
+
+(FPCore harmonic-mean (a b)
+  :name "harmonic mean"
+  :pre (and (< 1e-8 a 1e8) (< 1e-8 b 1e8))
+  (/ 2 (+ (/ 1 a) (/ 1 b))))
+
+(FPCore midpoint (a b)
+  :name "midpoint (a+b)/2"
+  :pre (and (< -1e300 a 1e300) (< -1e300 b 1e300))
+  (/ (+ a b) 2))
+
+(FPCore quad-disc (a b c)
+  :name "quadratic discriminant"
+  :pre (and (< -1e8 a 1e8) (< -1e8 b 1e8) (< -1e8 c 1e8))
+  (- (* b b) (* 4 (* a c))))
+
+; --- geometry and statistics kernels ----------------------------------------------
+
+(FPCore triangle-area (a b c)
+  :name "Heron's formula"
+  :pre (and (< 1e-3 a 1e3) (< 1e-3 b 1e3) (< 1e-3 c 1e3)
+            (< (fabs (- a b)) c) (< c (+ a b)))
+  (sqrt (* (* (/ (+ (+ a b) c) 2)
+              (- (/ (+ (+ a b) c) 2) a))
+           (* (- (/ (+ (+ a b) c) 2) b)
+              (- (/ (+ (+ a b) c) 2) c)))))
+
+(FPCore slerp-weight (t omega)
+  :name "spherical interpolation weight"
+  :pre (and (< 0.001 t 0.999) (< 0.01 omega 3.1))
+  (/ (sin (* t omega)) (sin omega)))
+
+(FPCore deg-dist (t1 t2)
+  :name "angular distance via cosines (degrees)"
+  :pre (and (< -360 t1 360) (< -360 t2 360))
+  (- (cos (* (/ PI 180) t1)) (cos (* (/ PI 180) t2))))
+
+(FPCore variance-2 (x y)
+  :name "two-sample variance"
+  :pre (and (< -1e6 x 1e6) (< -1e6 y 1e6))
+  (/ (+ (* (- x (/ (+ x y) 2)) (- x (/ (+ x y) 2)))
+        (* (- y (/ (+ x y) 2)) (- y (/ (+ x y) 2)))) 2))
+
+(FPCore pythag-diff (x y)
+  :name "sqrt(x^2+y^2) - x"
+  :pre (and (< 1e-3 x 1e8) (< 1e-6 (fabs y) 1e4))
+  (- (sqrt (+ (* x x) (* y y))) x))
+
+; --- polynomial / rational kernels -----------------------------------------------------
+
+(FPCore poly-horner (x)
+  :name "cubic polynomial, expanded form"
+  :pre (< -100 x 100)
+  (+ (+ (+ 1 x) (* (/ 1 2) (* x x))) (* (/ 1 6) (* (* x x) x))))
+
+(FPCore rump (a b)
+  :name "Rump's polynomial (scaled)"
+  :pre (and (< 1 a 1e4) (< 1 b 1e4))
+  (+ (+ (* 333.75 (* (* (* (* (* b b) b) b) b) b))
+        (* (* a a)
+           (- (- (* (* 11 (* a a)) (* b b)) (* (* (* (* (* b b) b) b) b) b))
+              (- (* 121 (* (* (* b b) b) b)) 2))))
+     (/ a (* 2 b))))
+
+(FPCore sum-sq-diff (x y)
+  :name "(x+y)^2 - x^2"
+  :pre (and (< -1e8 x 1e8) (< 1e-8 (fabs y) 1))
+  (- (* (+ x y) (+ x y)) (* x x)))
+
+(FPCore cube-diff (x)
+  :name "(x+1)^3 - x^3"
+  :pre (< 1 x 1e5)
+  (- (* (* (+ x 1) (+ x 1)) (+ x 1)) (* (* x x) x)))
+
+; --- division/reciprocal shapes (accelerator targets) -------------------------------------
+
+(FPCore div-chain (x y)
+  :name "x / (x + y)"
+  :pre (and (< 1e-4 x 1e6) (< 1e-4 y 1e6))
+  (/ x (+ x y)))
+
+(FPCore rcp-norm (x y)
+  :name "x / sqrt(x^2 + y^2)"
+  :pre (and (< 1e-4 (fabs x) 1e6) (< 1e-4 (fabs y) 1e6))
+  (/ x (sqrt (+ (* x x) (* y y)))))
+
+(FPCore rcp-sum (x y)
+  :name "1 / (1/x + 1/y)"
+  :pre (and (< 1e-4 x 1e6) (< 1e-4 y 1e6))
+  (/ 1 (+ (/ 1 x) (/ 1 y))))
+
+(FPCore fma-chain (a b c d)
+  :name "a*b + c*d"
+  :pre (and (< -1e6 a 1e6) (< -1e6 b 1e6) (< -1e6 c 1e6) (< -1e6 d 1e6))
+  (+ (* a b) (* c d)))
+
+(FPCore poly-eval-2 (a b c x)
+  :name "a*x^2 + b*x + c"
+  :pre (and (< -100 a 100) (< -100 b 100) (< -100 c 100) (< -100 x 100))
+  (+ (+ (* a (* x x)) (* b x)) c))
+
+; --- hyperbolic / exponential kernels ---------------------------------------------------
+
+(FPCore tanh-naive (x)
+  :name "tanh via exponentials"
+  :pre (< -20 x 20)
+  (/ (- (exp x) (exp (- x))) (+ (exp x) (exp (- x)))))
+
+(FPCore sigmoid-diff (x)
+  :name "1/(1+exp(-x)) - 1/2"
+  :pre (< -30 x 30)
+  (- (/ 1 (+ 1 (exp (- x)))) 1/2))
+
+(FPCore exp-sq (x)
+  :name "exp(x)^2 * exp(-x)"
+  :pre (< -20 x 20)
+  (* (* (exp x) (exp x)) (exp (- x))))
+
+(FPCore cosh-1 (x)
+  :name "cosh(x) - 1"
+  :pre (< -3 x 3)
+  (- (cosh x) 1))
+
+; --- physics and statistics kernels ------------------------------------------------------
+
+(FPCore lorentz (v)
+  :name "Lorentz factor 1/sqrt(1 - v^2)"
+  :pre (and (< 1e-6 (fabs v)) (< (fabs v) 0.99999))
+  (/ 1 (sqrt (- 1 (* v v)))))
+
+(FPCore planck (x)
+  :name "Planck radiance shape x^3/(exp(x)-1)"
+  :pre (< 1e-6 x 30)
+  (/ (* (* x x) x) (- (exp x) 1)))
+
+(FPCore entropy-term (p)
+  :name "entropy term -p*log(p)"
+  :pre (< 1e-12 p 1)
+  (- 0 (* p (log p))))
+
+(FPCore haversine-half (theta)
+  :name "haversine sin^2(theta/2)"
+  :pre (< -6.28 theta 6.28)
+  (* (sin (/ theta 2)) (sin (/ theta 2))))
+
+(FPCore compound-interest (r)
+  :name "monthly compounding (1 + r/12)^12"
+  :pre (< 1e-8 r 0.5)
+  (pow (+ 1 (/ r 12)) 12))
+
+(FPCore gauss-kernel (x s)
+  :name "Gaussian kernel exp(-x^2 / (2 s^2))"
+  :pre (and (< -20 x 20) (< 0.1 s 10))
+  (exp (/ (- 0 (* x x)) (* 2 (* s s)))))
+
+; --- difference quotients and second differences -------------------------------------------
+
+(FPCore sqrt-2nd-diff (x)
+  :name "second difference of sqrt"
+  :pre (< 1 x 1e14)
+  (+ (- (sqrt (+ x 2)) (* 2 (sqrt (+ x 1)))) (sqrt x)))
+
+(FPCore atan-diff (x)
+  :name "atan(x+1) - atan(x)"
+  :pre (< 1 x 1e8)
+  (- (atan (+ x 1)) (atan x)))
+
+(FPCore cot-small (x)
+  :name "cotangent near zero"
+  :pre (and (< 1e-9 (fabs x)) (< (fabs x) 1.5))
+  (/ (cos x) (sin x)))
+
+(FPCore sinc-sq (x)
+  :name "sinc squared"
+  :pre (and (< 1e-9 (fabs x)) (< (fabs x) 50))
+  (/ (* (sin x) (sin x)) (* x x)))
+
+(FPCore cube-expand (a b)
+  :name "(a+b)^3 - a^3 - b^3"
+  :pre (and (< 0.1 (fabs a) 1e4) (< 1e-6 (fabs b) 0.1))
+  (- (- (* (* (+ a b) (+ a b)) (+ a b)) (* (* a a) a)) (* (* b b) b)))
+
+(FPCore exp-ratio (x)
+  :name "exp(2x)/(exp(x)+1)"
+  :pre (< -30 x 30)
+  (/ (exp (* 2 x)) (+ (exp x) 1)))
+
+(FPCore log-ratio-sym (p)
+  :name "log-odds log(p/(1-p))"
+  :pre (< 1e-9 p 0.999999999)
+  (log (/ p (- 1 p))))
+
+(FPCore hypot3-diff (x y)
+  :name "hypot minus max"
+  :pre (and (< 1e-3 x 1e7) (< 1e-6 y 1e-1))
+  (- (sqrt (+ (* x x) (* y y))) x))
+"""
+
+
+def corpus_sources() -> str:
+    """The raw FPCore source text of the curated corpus."""
+    return CORPUS_TEXT

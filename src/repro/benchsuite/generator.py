@@ -1,0 +1,73 @@
+"""Seeded synthetic benchmark generator.
+
+The paper's suite has 547 benchmarks; our curated corpus is smaller, so this
+generator can synthesize additional well-formed FPCores on demand (scale
+testing, fuzzing the compiler, stress benchmarks).  Generation is grammar-
+based and deterministic for a given seed; preconditions keep the sampled
+domains benign so every generated core is actually compilable.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+from ..ir.expr import App, Expr, Num, Var
+from ..ir.fpcore import FPCore
+
+#: Operators by arity, weighted toward arithmetic like the real suite.
+_UNARY = ("sqrt", "exp", "log", "sin", "cos", "fabs", "neg", "tanh", "log1p")
+_BINARY = ("+", "-", "*", "/", "pow2")  # pow2 is expanded to (* e e)
+_UNARY_WEIGHTS = (3, 2, 2, 2, 2, 1, 2, 1, 1)
+_BINARY_WEIGHTS = (5, 5, 5, 3, 2)
+
+#: Domain bound keeping log/sqrt arguments positive-ish and exp small.
+_VAR_BOUND = "(and (< 0.001 {v}) (< {v} 100))"
+
+
+def _gen_expr(rng: random.Random, variables: tuple[str, ...], depth: int) -> Expr:
+    if depth <= 0 or rng.random() < 0.25:
+        if rng.random() < 0.75:
+            return Var(rng.choice(variables))
+        mantissa = rng.randint(1, 9)
+        exponent = rng.choice((-1, 0, 0, 1))
+        return Num(Fraction(mantissa) * Fraction(10) ** exponent)
+    if rng.random() < 0.45:
+        op = rng.choices(_UNARY, weights=_UNARY_WEIGHTS)[0]
+        return App(op, (_gen_expr(rng, variables, depth - 1),))
+    op = rng.choices(_BINARY, weights=_BINARY_WEIGHTS)[0]
+    left = _gen_expr(rng, variables, depth - 1)
+    right = _gen_expr(rng, variables, depth - 1)
+    if op == "pow2":
+        return App("*", (left, left))
+    return App(op, (left, right))
+
+
+def generate_core(seed: int, n_vars: int = 2, depth: int = 4) -> FPCore:
+    """Generate one synthetic FPCore, deterministic in ``seed``."""
+    rng = random.Random(seed)
+    variables = tuple(f"x{i}" for i in range(max(1, n_vars)))
+    body = _gen_expr(rng, variables, depth)
+    # Ensure every declared variable occurs (sampling is over all of them).
+    used = body.free_vars()
+    for name in variables:
+        if name not in used:
+            body = App("+", (body, App("*", (Num(0), Var(name)))))
+    from ..ir.parser import parse_expr
+
+    pre_parts = [_VAR_BOUND.format(v=name) for name in variables]
+    pre_src = pre_parts[0] if len(pre_parts) == 1 else "(and " + " ".join(pre_parts) + ")"
+    return FPCore(
+        arguments=variables,
+        body=body,
+        name=f"synthetic-{seed}",
+        pre=parse_expr(pre_src),
+    )
+
+
+def generate_suite(count: int, seed: int = 1, n_vars: int = 2, depth: int = 4) -> list[FPCore]:
+    """A deterministic list of ``count`` synthetic benchmarks."""
+    return [
+        generate_core(seed * 1_000_003 + i, n_vars=n_vars, depth=depth)
+        for i in range(count)
+    ]

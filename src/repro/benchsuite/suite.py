@@ -1,0 +1,47 @@
+"""Benchmark suite registry and filtering."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..ir.fpcore import FPCore, parse_fpcores
+from .corpus import corpus_sources
+from .generator import generate_suite
+
+
+@lru_cache(maxsize=1)
+def curated_suite() -> tuple[FPCore, ...]:
+    """The curated corpus, parsed once."""
+    return tuple(parse_fpcores(corpus_sources()))
+
+
+def core_named(name: str) -> FPCore:
+    """Look up one curated benchmark by its FPCore identifier."""
+    for core in curated_suite():
+        if core.name == name or core.properties.get("name") == name:
+            return core
+    raise KeyError(name)
+
+
+def suite(
+    max_benchmarks: int | None = None,
+    max_vars: int | None = None,
+    operators_subset: set[str] | None = None,
+    with_synthetic: int = 0,
+) -> list[FPCore]:
+    """Select benchmarks for an experiment run.
+
+    ``operators_subset`` keeps only benchmarks whose real operators all fall
+    in the given set (e.g. arithmetic-only benchmarks for the Arith target).
+    ``with_synthetic`` appends that many generated benchmarks.
+    """
+    cores = list(curated_suite())
+    if operators_subset is not None:
+        cores = [c for c in cores if c.body.operators() <= operators_subset]
+    if max_vars is not None:
+        cores = [c for c in cores if len(c.arguments) <= max_vars]
+    if with_synthetic:
+        cores.extend(generate_suite(with_synthetic))
+    if max_benchmarks is not None:
+        cores = cores[:max_benchmarks]
+    return cores

@@ -1,0 +1,201 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``compile`` — compile FPCore source for a target, print the Pareto
+  frontier (optionally as target-language code).
+* ``targets`` — list the built-in target descriptions (the figure 6 table).
+* ``sample`` — sample valid inputs for an FPCore and report acceptance.
+* ``score``  — score a float program's accuracy against the oracle.
+
+Examples::
+
+    python -m repro targets
+    python -m repro compile --target fdlibm --iterations 2 bench.fpcore
+    echo '(FPCore (x) :pre (< 0.001 x 0.999) (log (+ 1 x)))' | \
+        python -m repro compile --target c99 -
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .accuracy.sampler import SampleConfig, sample_core
+from .benchsuite import core_named
+from .core.chassis import compile_fpcore
+from .core.loop import CompileConfig
+from .core.output import render, to_fpcore
+from .experiments.report import targets_table
+from .ir.fpcore import parse_fpcores
+from .ir.printer import expr_to_infix
+from .targets import TARGET_NAMES, all_targets, get_target
+
+
+def _read_cores(source: str, known_ops=None):
+    if source == "-":
+        text = sys.stdin.read()
+    else:
+        try:
+            with open(source) as handle:
+                text = handle.read()
+        except FileNotFoundError:
+            # Allow naming a built-in benchmark directly.
+            try:
+                return [core_named(source)]
+            except KeyError:
+                raise SystemExit(f"no such file or benchmark: {source}")
+    return parse_fpcores(text, known_ops)
+
+
+def _cmd_targets(_args) -> int:
+    print(targets_table(all_targets()), end="")
+    return 0
+
+
+def _resolve_target(args):
+    """Resolve --target / --target-file into a Target."""
+    if getattr(args, "target_file", None):
+        from .fpeval import approx, impls
+        from .targets import autotuned, parse_target_description
+
+        links = {
+            name: fn
+            for module in (impls, approx)
+            for name, fn in vars(module).items()
+            if callable(fn) and not name.startswith("_")
+        }
+        import_registry = {name: get_target(name) for name in TARGET_NAMES}
+        with open(args.target_file) as handle:
+            target = parse_target_description(
+                handle.read(), link_registry=links, import_registry=import_registry
+            )
+        return autotuned(target)
+    return get_target(args.target)
+
+
+def _cmd_compile(args) -> int:
+    target = _resolve_target(args)
+    config = CompileConfig(iterations=args.iterations)
+    sample_config = SampleConfig(n_train=args.points, n_test=args.points, seed=args.seed)
+
+    status = 0
+    for core in _read_cores(args.input):
+        label = core.name or core.properties.get("name", "<anonymous>")
+        start = time.monotonic()
+        try:
+            result = compile_fpcore(core, target, config, sample_config)
+        except Exception as error:  # surface per-core failures, keep going
+            print(f"{label}: FAILED ({type(error).__name__}: {error})")
+            status = 1
+            continue
+        elapsed = time.monotonic() - start
+        print(f"{label} on {target.name} ({elapsed:.1f}s):")
+        inp = result.input_candidate
+        print(f"  input  cost={inp.cost:9.1f}  bits-of-error={inp.error:6.2f}")
+        for candidate in result.frontier:
+            print(
+                f"  output cost={candidate.cost:9.1f}  "
+                f"bits-of-error={candidate.error:6.2f}"
+            )
+            if args.code:
+                body = render(candidate.program, core, target)
+                print("    " + "\n    ".join(body.splitlines()))
+            else:
+                shown = (
+                    expr_to_infix(candidate.program)
+                    if args.infix
+                    else to_fpcore(candidate.program, core)
+                )
+                print(f"    {shown}")
+    return status
+
+
+def _cmd_sample(args) -> int:
+    config = SampleConfig(n_train=args.points, n_test=args.points, seed=args.seed)
+    for core in _read_cores(args.input):
+        samples = sample_core(core, config)
+        label = core.name or "<anonymous>"
+        print(
+            f"{label}: {len(samples.train)} train + {len(samples.test)} test "
+            f"points (acceptance {samples.acceptance:.1%})"
+        )
+        if args.show:
+            for point, exact in list(zip(samples.train, samples.train_exact))[: args.show]:
+                rendered = ", ".join(f"{k}={v:.6g}" for k, v in point.items())
+                print(f"  {rendered}  ->  {exact:.17g}")
+    return 0
+
+
+def _cmd_score(args) -> int:
+    from .accuracy.scoring import score_program
+    from .ir.parser import parse_expr
+
+    target = get_target(args.target)
+    for core in _read_cores(args.input):
+        samples = sample_core(core, SampleConfig(n_train=8, n_test=args.points))
+        program = (
+            parse_expr(args.program, known_ops=set(target.operators))
+            if args.program
+            else None
+        )
+        if program is None:
+            from .core.transcribe import transcribe
+
+            program = transcribe(core.body, target, core.precision)
+        error = score_program(
+            program, target, samples.test, samples.test_exact, core.precision
+        )
+        print(f"{core.name or '<anonymous>'}: mean bits of error = {error:.3f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Chassis, a target-aware numerical compiler (reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_targets = sub.add_parser("targets", help="list built-in targets")
+    p_targets.set_defaults(fn=_cmd_targets)
+
+    p_compile = sub.add_parser("compile", help="compile FPCore for a target")
+    p_compile.add_argument("input", help="FPCore file, '-' for stdin, or a benchmark name")
+    p_compile.add_argument("--target", choices=TARGET_NAMES, default="c99")
+    p_compile.add_argument(
+        "--target-file",
+        help="path to a target description in the S-expression DSL "
+        "(overrides --target; links resolve against repro.fpeval)",
+    )
+    p_compile.add_argument("--iterations", type=int, default=2)
+    p_compile.add_argument("--points", type=int, default=48)
+    p_compile.add_argument("--seed", type=int, default=20250401)
+    p_compile.add_argument("--code", action="store_true", help="emit target-language code")
+    p_compile.add_argument("--infix", action="store_true", help="print programs in infix form")
+    p_compile.set_defaults(fn=_cmd_compile)
+
+    p_sample = sub.add_parser("sample", help="sample valid inputs for an FPCore")
+    p_sample.add_argument("input")
+    p_sample.add_argument("--points", type=int, default=32)
+    p_sample.add_argument("--seed", type=int, default=20250401)
+    p_sample.add_argument("--show", type=int, default=0, help="print the first N points")
+    p_sample.set_defaults(fn=_cmd_sample)
+
+    p_score = sub.add_parser("score", help="score a program against the oracle")
+    p_score.add_argument("input")
+    p_score.add_argument("--target", choices=TARGET_NAMES, default="c99")
+    p_score.add_argument("--program", help="float program (defaults to the transcribed input)")
+    p_score.add_argument("--points", type=int, default=64)
+    p_score.set_defaults(fn=_cmd_score)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    raise SystemExit(main())

@@ -1,0 +1,33 @@
+"""Chassis core: the target-aware numerical compiler."""
+
+from .candidates import Candidate, ParetoFrontier
+from .chassis import CompileResult, compile_fpcore
+from .isel import instruction_select
+from .loop import CompileConfig, ImprovementLoop, improve
+from .output import render, to_c, to_fpcore, to_julia, to_python
+from .regimes import infer_regimes
+from .series import series_candidates, taylor_coeffs
+from .transcribe import Untranscribable, transcribable, transcribe, transcribe_with_poly
+
+__all__ = [
+    "Candidate",
+    "ParetoFrontier",
+    "CompileConfig",
+    "CompileResult",
+    "compile_fpcore",
+    "improve",
+    "ImprovementLoop",
+    "instruction_select",
+    "infer_regimes",
+    "series_candidates",
+    "taylor_coeffs",
+    "transcribe",
+    "transcribable",
+    "transcribe_with_poly",
+    "Untranscribable",
+    "render",
+    "to_c",
+    "to_python",
+    "to_julia",
+    "to_fpcore",
+]

@@ -1,0 +1,107 @@
+"""Chassis' top-level entry point: compile an FPCore for a target.
+
+Ties together sampling, the iterative improvement loop, regime inference
+and final test-set scoring (the architecture of paper figure 1), returning
+a Pareto frontier of target-specific programs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..accuracy.sampler import SampleConfig, SampleSet, sample_core
+from ..accuracy.scoring import score_program
+from ..cost.model import TargetCostModel
+from ..ir.fpcore import FPCore
+from ..rival.eval import RivalEvaluator
+from ..targets.target import Target
+from .candidates import Candidate, ParetoFrontier
+from .loop import CompileConfig, ImprovementLoop
+from .transcribe import Untranscribable, transcribe, transcribe_with_poly
+
+
+@dataclass
+class CompileResult:
+    """Everything produced by one Chassis compilation."""
+
+    core: FPCore
+    target: Target
+    #: Pareto frontier scored on held-out *test* points.
+    frontier: ParetoFrontier
+    #: The directly-transcribed input program, test-scored (the baseline
+    #: "black square" of paper figure 8).
+    input_candidate: Candidate
+    samples: SampleSet
+    elapsed: float
+
+    def best_for_error(self, error_bound: float) -> Candidate | None:
+        """Fastest output meeting an accuracy bound (bits of error)."""
+        return self.frontier.fastest_within(error_bound)
+
+
+def compile_fpcore(
+    core: FPCore,
+    target: Target,
+    config: CompileConfig | None = None,
+    sample_config: SampleConfig | None = None,
+    samples: SampleSet | None = None,
+) -> CompileResult:
+    """Compile one FPCore to a Pareto frontier of programs on ``target``.
+
+    Raises :class:`~repro.core.transcribe.Untranscribable` when the
+    benchmark cannot be expressed on the target at all (the paper removes
+    such benchmark/target pairs from consideration) and
+    :class:`~repro.accuracy.sampler.SamplingError` when too few valid
+    inputs exist.
+    """
+    start = time.monotonic()
+    config = config or CompileConfig()
+    evaluator = RivalEvaluator()
+    if samples is None:
+        samples = sample_core(core, sample_config, evaluator)
+
+    # Fail fast (before sampling-dependent work) if the target can't even
+    # express the input program; targets lacking transcendentals fall back
+    # to polynomial approximation (paper section 2).
+    try:
+        input_program = transcribe(core.body, target, core.precision)
+    except Untranscribable:
+        input_program = transcribe_with_poly(core.body, target, core.precision)
+
+    loop = ImprovementLoop(core, target, samples, config, evaluator)
+    train_frontier = loop.run()
+
+    model = TargetCostModel(target)
+    test_frontier = ParetoFrontier()
+    for candidate in train_frontier:
+        error = score_program(
+            candidate.program, target, samples.test, samples.test_exact, core.precision
+        )
+        test_frontier.add(
+            Candidate(
+                program=candidate.program,
+                cost=candidate.cost,
+                error=error,
+                point_errors=candidate.point_errors,
+                origin=candidate.origin,
+            )
+        )
+
+    input_candidate = Candidate(
+        program=input_program,
+        cost=model.program_cost(input_program),
+        error=score_program(
+            input_program, target, samples.test, samples.test_exact, core.precision
+        ),
+        origin="input",
+    )
+
+    return CompileResult(
+        core=core,
+        target=target,
+        frontier=test_frontier,
+        input_candidate=input_candidate,
+        samples=samples,
+        elapsed=time.monotonic() - start,
+    )

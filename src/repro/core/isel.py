@@ -1,0 +1,71 @@
+"""Instruction selection modulo equivalence (paper section 5.1).
+
+The heavyweight rewrite pass: build an e-graph from a (float) subexpression,
+saturate it with mathematical identities *plus* the target's desugar/lower
+rules — producing mixed real/float e-classes whose equivalence relation is
+"equal as real numbers" — then multi-extract well-typed float variants with
+the typed extractor.
+"""
+
+from __future__ import annotations
+
+from ..egraph.egraph import EGraph
+from ..egraph.multi_extract import extract_variants
+from ..egraph.runner import RunnerLimits, run_rules
+from ..egraph.typed_extract import TypedExtractor
+from ..ir.expr import Expr
+from ..ir.types import F64
+from ..rules.registry import rules_for_operators
+from ..targets.target import Target
+from ..cost.model import TargetCostModel
+
+
+#: Default saturation budget for one instruction-selection run.  The paper
+#: caps e-graphs at 8000 nodes; Python is slower, so the default is lower
+#: and configurable via CompileConfig.
+DEFAULT_ISEL_LIMITS = RunnerLimits(
+    max_iterations=4, max_nodes=2500, max_matches_per_rule=250, time_limit=8.0
+)
+
+
+_RULES_CACHE: dict[str, list] = {}
+
+
+def _rules_for(target: Target) -> list:
+    """Math rules pruned to the target's reachable operator vocabulary,
+    plus the target's desugaring rules (computed once per target)."""
+    cached = _RULES_CACHE.get(target.name)
+    if cached is not None:
+        return cached
+    reachable: set[str] = set()
+    for op in target.operators.values():
+        reachable |= op.approx.operators()
+    math_rules = list(rules_for_operators(reachable))
+    rules = math_rules + target.desugar_rules()
+    _RULES_CACHE[target.name] = rules
+    return rules
+
+
+def instruction_select(
+    subexpr: Expr,
+    target: Target,
+    ty: str = F64,
+    var_types: dict[str, str] | None = None,
+    limits: RunnerLimits = DEFAULT_ISEL_LIMITS,
+    max_variants: int = 40,
+) -> list[Expr]:
+    """Generate well-typed float variants of ``subexpr`` on ``target``.
+
+    ``subexpr`` may be a float program, a real expression, or mixed; the
+    desugaring rules connect all three views inside one e-graph.  Returns
+    candidate programs of format ``ty``, cheapest-first, including at least
+    the input itself when it is already well-typed.
+    """
+    var_types = var_types or {name: ty for name in subexpr.free_vars()}
+    egraph = EGraph()
+    root = egraph.add_expr(subexpr)
+    run_rules(egraph, _rules_for(target), limits)
+
+    model = TargetCostModel(target)
+    extractor = TypedExtractor(egraph, model, var_types)
+    return extract_variants(egraph, extractor, root, ty, limit=max_variants)

@@ -1,0 +1,168 @@
+"""Code generation: render float programs as C, Python, Julia, or FPCore.
+
+Chassis outputs programs "in either a target-specific format or in the
+default FPCore format" (paper section 2).  The generated code is also what a
+downstream compiler (e.g. Clang) would consume; Chassis leaves integer,
+memory and calling-convention concerns to that compiler (paper section 4.2).
+"""
+
+from __future__ import annotations
+
+from ..ir.expr import App, Const, Expr, Num, Var
+from ..ir.fpcore import FPCore
+from ..ir.printer import expr_to_sexpr, format_fraction
+from ..ir.types import F32
+from ..targets.target import Target
+
+_C_INFIX = {"add": "+", "sub": "-", "mul": "*", "div": "/"}
+_CMP = {"<", "<=", ">", ">=", "==", "!="}
+
+
+def _base_and_suffix(op_name: str) -> tuple[str, str]:
+    base, _, suffix = op_name.partition(".")
+    return base, suffix
+
+
+def to_c(program: Expr, core: FPCore, target: Target, fn_name: str = "") -> str:
+    """Render a float program as a C function."""
+    ty = "float" if core.precision == F32 else "double"
+    fn_name = fn_name or (core.name.replace("-", "_") or "program")
+    args = ", ".join(f"{ty} {a}" for a in core.arguments)
+    body = _c_expr(program, core.precision)
+    return (
+        f"#include <math.h>\n\n"
+        f"{ty} {fn_name}({args}) {{\n    return {body};\n}}\n"
+    )
+
+
+def _c_expr(expr: Expr, prec: str) -> str:
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, Num):
+        literal = format_fraction(expr.value)
+        if "/" in literal:
+            num, den = literal.split("/")
+            return f"({num}.0 / {den}.0)"
+        suffix = "f" if prec == F32 else ""
+        return literal + (".0" if "." not in literal and "e" not in literal else "") + suffix
+    if isinstance(expr, Const):
+        return {"PI": "M_PI", "E": "M_E", "INFINITY": "INFINITY", "NAN": "NAN"}[expr.name]
+    assert isinstance(expr, App)
+    if expr.op == "if":
+        c, t, e = (_c_expr(a, prec) for a in expr.args)
+        return f"({c} ? {t} : {e})"
+    if expr.op in _CMP:
+        left, right = (_c_expr(a, prec) for a in expr.args)
+        return f"({left} {expr.op} {right})"
+    if expr.op in ("and", "or", "not"):
+        symbol = {"and": "&&", "or": "||", "not": "!"}[expr.op]
+        parts = [_c_expr(a, prec) for a in expr.args]
+        return f"(!{parts[0]})" if expr.op == "not" else f"({parts[0]} {symbol} {parts[1]})"
+    base, suffix = _base_and_suffix(expr.op)
+    args = [_c_expr(a, prec) for a in expr.args]
+    if base in _C_INFIX:
+        return f"({args[0]} {_C_INFIX[base]} {args[1]})"
+    if base == "neg":
+        return f"(-{args[0]})"
+    if base == "cast":
+        return f"(({'float' if suffix == 'f32' else 'double'}){args[0]})"
+    fn = base + ("f" if suffix == "f32" else "")
+    return f"{fn}({', '.join(args)})"
+
+
+def to_python(program: Expr, core: FPCore, target: Target, fn_name: str = "") -> str:
+    """Render a float program as a Python function over ``math``."""
+    fn_name = fn_name or (core.name.replace("-", "_") or "program")
+    args = ", ".join(core.arguments)
+    body = _py_expr(program)
+    return f"import math\n\ndef {fn_name}({args}):\n    return {body}\n"
+
+
+_PY_FN = {
+    "fabs": "abs", "fmin": "min", "fmax": "max",
+    "round": "round", "floor": "math.floor", "ceil": "math.ceil",
+    "trunc": "math.trunc",
+}
+
+
+def _py_expr(expr: Expr) -> str:
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, Num):
+        literal = format_fraction(expr.value)
+        return f"({literal})" if "/" in literal else literal
+    if isinstance(expr, Const):
+        return {"PI": "math.pi", "E": "math.e", "INFINITY": "math.inf", "NAN": "math.nan"}[expr.name]
+    assert isinstance(expr, App)
+    if expr.op == "if":
+        c, t, e = (_py_expr(a) for a in expr.args)
+        return f"({t} if {c} else {e})"
+    if expr.op in _CMP:
+        left, right = (_py_expr(a) for a in expr.args)
+        return f"({left} {expr.op} {right})"
+    if expr.op in ("and", "or", "not"):
+        parts = [_py_expr(a) for a in expr.args]
+        return f"(not {parts[0]})" if expr.op == "not" else f"({parts[0]} {expr.op} {parts[1]})"
+    base, _suffix = _base_and_suffix(expr.op)
+    args = [_py_expr(a) for a in expr.args]
+    if base in _C_INFIX:
+        return f"({args[0]} {_C_INFIX[base]} {args[1]})"
+    if base == "neg":
+        return f"(-{args[0]})"
+    fn = _PY_FN.get(base, f"math.{base}")
+    return f"{fn}({', '.join(args)})"
+
+
+def to_julia(program: Expr, core: FPCore, target: Target, fn_name: str = "") -> str:
+    """Render a float program as a Julia function (helpers used directly)."""
+    fn_name = fn_name or (core.name.replace("-", "_") or "program")
+    args = ", ".join(core.arguments)
+    return f"function {fn_name}({args})\n    return {_jl_expr(program)}\nend\n"
+
+
+def _jl_expr(expr: Expr) -> str:
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, Num):
+        literal = format_fraction(expr.value)
+        return f"({literal})" if "/" in literal else literal
+    if isinstance(expr, Const):
+        return {"PI": "pi", "E": "MathConstants.e", "INFINITY": "Inf", "NAN": "NaN"}[expr.name]
+    assert isinstance(expr, App)
+    if expr.op == "if":
+        c, t, e = (_jl_expr(a) for a in expr.args)
+        return f"({c} ? {t} : {e})"
+    if expr.op in _CMP:
+        left, right = (_jl_expr(a) for a in expr.args)
+        return f"({left} {expr.op} {right})"
+    base, _suffix = _base_and_suffix(expr.op)
+    args = [_jl_expr(a) for a in expr.args]
+    if base in _C_INFIX:
+        return f"({args[0]} {_C_INFIX[base]} {args[1]})"
+    if base == "neg":
+        return f"(-{args[0]})"
+    if base == "fabs":
+        return f"abs({args[0]})"
+    return f"{base}({', '.join(args)})"
+
+
+def to_fpcore(program: Expr, core: FPCore) -> str:
+    """Render a float program back as FPCore text (operator names kept)."""
+    args = " ".join(core.arguments)
+    name = f" {core.name}" if core.name and " " not in core.name else ""
+    return (
+        f"(FPCore{name} ({args}) :precision {core.precision} "
+        f"{expr_to_sexpr(program)})"
+    )
+
+
+def render(program: Expr, core: FPCore, target: Target) -> str:
+    """Render in the target's preferred output format."""
+    fmt = target.output_format
+    if fmt == "c":
+        return to_c(program, core, target)
+    if fmt == "python":
+        return to_python(program, core, target)
+    if fmt == "julia":
+        return to_julia(program, core, target)
+    return to_fpcore(program, core)

@@ -1,0 +1,157 @@
+"""Regime inference: combining candidates with branch conditions.
+
+Herbie's regime-inference step (shared by Chassis, paper section 2) notices
+that different candidates win on different parts of the input domain and
+fuses them under ``if`` conditions on one input variable.  The branch
+condition costs are priced by the target's conditional style, so
+vector-style targets (AVX, NumPy) are charged for both branches — which is
+why Chassis uses branches sparingly there (paper section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Sequence
+
+from ..ir.expr import App, Expr, Num, Var
+from .candidates import Candidate
+
+#: Error improvement (bits/point) a branch must buy to be worth adding.
+_MIN_GAIN = 0.35
+#: Candidate split thresholds per variable (quantiles of the sample).
+_N_THRESHOLDS = 7
+
+
+@dataclass(frozen=True)
+class Regime:
+    """One branch: use ``candidate`` when the split variable < threshold."""
+
+    candidate_index: int
+    upper: float | None  # None = open-ended final regime
+
+
+def _total_error(errors: Sequence[float]) -> float:
+    return sum(errors)
+
+
+def infer_regimes(
+    candidates: list[Candidate],
+    points: Sequence[dict],
+    variables: Sequence[str],
+    max_regimes: int = 3,
+    branch_penalty: float = 2.0,
+) -> Expr | None:
+    """Build a branched program improving on every single candidate.
+
+    Uses each candidate's stored per-point errors.  Returns None when no
+    split beats the best single candidate by at least the penalty margin.
+    """
+    usable = [c for c in candidates if len(c.point_errors) == len(points)]
+    if len(usable) < 2 or len(points) < 8 or not variables:
+        return None
+
+    best_single = min(_total_error(c.point_errors) for c in usable)
+    best_plan: tuple[float, str, list[Regime]] | None = None
+
+    for var in variables:
+        order = sorted(range(len(points)), key=lambda i: points[i][var])
+        values = [points[i][var] for i in order]
+        errors = [[c.point_errors[i] for i in order] for c in usable]
+        thresholds = _candidate_thresholds(values)
+        plan = _best_split_plan(errors, values, thresholds, max_regimes, branch_penalty)
+        if plan is None:
+            continue
+        score, regimes = plan
+        if best_plan is None or score < best_plan[0]:
+            best_plan = (score, var, regimes)
+
+    if best_plan is None:
+        return None
+    score, var, regimes = best_plan
+    if score >= best_single - max(_MIN_GAIN * len(points), branch_penalty):
+        return None
+    if len({r.candidate_index for r in regimes}) < 2:
+        return None
+    return _build_branches(usable, var, regimes)
+
+
+def _candidate_thresholds(sorted_values: list[float]) -> list[float]:
+    """Quantile midpoints used as potential split points."""
+    n = len(sorted_values)
+    out = []
+    for k in range(1, _N_THRESHOLDS + 1):
+        i = k * n // (_N_THRESHOLDS + 1)
+        if 0 < i < n and sorted_values[i - 1] < sorted_values[i]:
+            out.append((sorted_values[i - 1] + sorted_values[i]) / 2.0)
+    return sorted(set(out))
+
+
+def _best_split_plan(
+    errors: list[list[float]],
+    values: list[float],
+    thresholds: list[float],
+    max_regimes: int,
+    branch_penalty: float,
+) -> tuple[float, list[Regime]] | None:
+    """Search 1- and 2-split plans over the threshold grid."""
+    n = len(values)
+    if n == 0 or not thresholds:
+        return None
+
+    def seg_best(lo: int, hi: int) -> tuple[float, int]:
+        """(error, candidate) for points[lo:hi]."""
+        best_c, best_e = 0, float("inf")
+        for ci, errs in enumerate(errors):
+            e = sum(errs[lo:hi])
+            if e < best_e:
+                best_e, best_c = e, ci
+        return best_e, best_c
+
+    def cut_index(threshold: float) -> int:
+        from bisect import bisect_right
+
+        return bisect_right(values, threshold)
+
+    plans: list[tuple[float, list[Regime]]] = []
+    whole_e, whole_c = seg_best(0, n)
+    plans.append((whole_e, [Regime(whole_c, None)]))
+
+    for t1 in thresholds:
+        i1 = cut_index(t1)
+        if i1 in (0, n):
+            continue
+        e1, c1 = seg_best(0, i1)
+        e2, c2 = seg_best(i1, n)
+        plans.append((e1 + e2 + branch_penalty, [Regime(c1, t1), Regime(c2, None)]))
+        if max_regimes >= 3:
+            for t2 in thresholds:
+                if t2 <= t1:
+                    continue
+                i2 = cut_index(t2)
+                if i2 <= i1 or i2 >= n:
+                    continue
+                e2a, c2a = seg_best(i1, i2)
+                e3, c3 = seg_best(i2, n)
+                plans.append(
+                    (
+                        e1 + e2a + e3 + 2 * branch_penalty,
+                        [Regime(c1, t1), Regime(c2a, t2), Regime(c3, None)],
+                    )
+                )
+
+    return min(plans, key=lambda p: p[0]) if plans else None
+
+
+def _build_branches(
+    candidates: list[Candidate], var: str, regimes: list[Regime]
+) -> Expr:
+    """Nest regimes into ``(if (<= var t) ... )`` expressions."""
+    program = candidates[regimes[-1].candidate_index].program
+    for regime in reversed(regimes[:-1]):
+        assert regime.upper is not None
+        condition = App("<=", (Var(var), Num(Fraction(regime.upper))))
+        program = App(
+            "if", (condition, candidates[regime.candidate_index].program, program)
+        )
+    return program

@@ -1,0 +1,11 @@
+"""Cost models and the cost-opportunity heuristic."""
+
+from .model import NaiveCostModel, TargetCostModel
+from .opportunity import cost_opportunities, infer_types
+
+__all__ = [
+    "TargetCostModel",
+    "NaiveCostModel",
+    "cost_opportunities",
+    "infer_types",
+]

@@ -1,0 +1,93 @@
+"""Target cost models (paper section 4.2).
+
+The speed of a program is estimated as the sum of its operators' scalar
+costs plus literal/variable costs, with conditionals priced by the target's
+style: *scalar* targets pay for the predicate plus the more expensive
+branch, *vector* targets (masked execution) pay for the predicate plus both
+branches.  The same object implements the e-graph layer's
+:class:`~repro.egraph.typed_extract.TypedCostModel` protocol, so typed
+extraction and static program costing always agree.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..ir.expr import App, Const, Expr, Num, Var
+from ..ir.ops import COMPARISON_OPS
+from ..targets.target import VECTOR, Target
+
+
+class TargetCostModel:
+    """Cost model derived from a target description."""
+
+    def __init__(self, target: Target):
+        self.target = target
+
+    # --- TypedCostModel protocol (used by typed extraction) ---------------------
+
+    def operator_signature(self, op: str) -> tuple[tuple[str, ...], str] | None:
+        opdef = self.target.operators.get(op)
+        if opdef is None:
+            return None
+        return opdef.arg_types, opdef.ret_type
+
+    def operator_cost(self, op: str) -> float:
+        return self.target.operators[op].cost
+
+    def literal_types(self) -> Iterable[str]:
+        return self.target.literal_costs.keys()
+
+    def literal_cost(self, ty: str) -> float:
+        return self.target.literal_costs[ty]
+
+    def variable_cost(self, ty: str) -> float:
+        return self.target.variable_cost
+
+    # --- static program costing ------------------------------------------------------
+
+    def program_cost(self, expr: Expr) -> float:
+        """Estimated cost of a whole float program (tree-structured)."""
+        if isinstance(expr, Var):
+            return self.target.variable_cost
+        if isinstance(expr, (Num, Const)):
+            costs = self.target.literal_costs
+            return min(costs.values()) if costs else 1.0
+        assert isinstance(expr, App)
+        if expr.op == "if":
+            cond, then_branch, else_branch = expr.args
+            cond_cost = self.program_cost(cond)
+            then_cost = self.program_cost(then_branch)
+            else_cost = self.program_cost(else_branch)
+            if self.target.if_style == VECTOR:
+                return cond_cost + then_cost + else_cost + self.target.if_cost
+            return cond_cost + max(then_cost, else_cost) + self.target.if_cost
+        if expr.op in COMPARISON_OPS or expr.op in ("and", "or", "not"):
+            return self.target.if_cost + sum(self.program_cost(a) for a in expr.args)
+        opdef = self.target.operators.get(expr.op)
+        if opdef is None:
+            raise KeyError(
+                f"target {self.target.name} cannot cost operator {expr.op!r}"
+            )
+        return opdef.cost + sum(self.program_cost(a) for a in expr.args)
+
+    def supports_program(self, expr: Expr) -> bool:
+        """True when every operator in ``expr`` exists on the target."""
+        try:
+            self.program_cost(expr)
+        except KeyError:
+            return False
+        return True
+
+
+class NaiveCostModel(TargetCostModel):
+    """Herbie's target-agnostic cost model (paper section 3.1).
+
+    Arithmetic costs 1, every other function call costs 100 — "approximating
+    a wide range of hardware and software targets where only relative
+    performance matters".  Built over a pseudo-target so the same machinery
+    runs unchanged; see :mod:`repro.baselines.herbie`.
+    """
+
+    ARITH_COST = 1.0
+    CALL_COST = 100.0

@@ -1,0 +1,19 @@
+"""E-graph engine: equality saturation, typed and multi extraction."""
+
+from .egraph import EClass, EGraph
+from .ematch import ematch_class, instantiate, search_pattern
+from .extract import Extractor, ast_size_cost, extract_best, real_only_cost
+from .multi_extract import extract_variants
+from .rewrite import Rewrite, birw, rw
+from .runner import BackoffScheduler, RunnerLimits, RunnerReport, run_rules
+from .typed_extract import TypedCostModel, TypedExtractor
+from .unionfind import UnionFind
+
+__all__ = [
+    "EClass", "EGraph", "UnionFind",
+    "ematch_class", "search_pattern", "instantiate",
+    "Rewrite", "rw", "birw",
+    "RunnerLimits", "RunnerReport", "run_rules", "BackoffScheduler",
+    "Extractor", "extract_best", "ast_size_cost", "real_only_cost",
+    "TypedExtractor", "TypedCostModel", "extract_variants",
+]

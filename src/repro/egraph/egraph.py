@@ -1,0 +1,194 @@
+"""The e-graph data structure (paper section 3.2).
+
+An e-graph maintains a congruence-closed equivalence relation over terms.
+This implementation follows egg [Willsey et al. 2021]: a union-find over
+e-class ids, a hashcons from canonical e-nodes to class ids, and deferred
+*rebuilding* that restores congruence invariants in a batch after rewrites.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..ir.expr import App, Expr
+from .enode import ENode, head_of_expr, head_to_leaf_expr, is_op_head
+from .unionfind import UnionFind
+
+
+class EClass:
+    """One equivalence class: its e-nodes plus parent back-references."""
+
+    __slots__ = ("id", "nodes", "parents")
+
+    def __init__(self, class_id: int):
+        self.id = class_id
+        self.nodes: set[ENode] = set()
+        self.parents: list[tuple[ENode, int]] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EClass({self.id}, {len(self.nodes)} nodes)"
+
+
+class EGraph:
+    """A congruence-closed e-graph with egg-style deferred rebuilding."""
+
+    def __init__(self):
+        self._uf = UnionFind()
+        self._classes: dict[int, EClass] = {}
+        self._hashcons: dict[ENode, int] = {}
+        self._pending: list[int] = []
+        self.version = 0  # bumped on every union; used to detect saturation
+
+    # --- size and iteration ------------------------------------------------
+
+    @property
+    def num_classes(self) -> int:
+        return len(self._classes)
+
+    @property
+    def num_nodes(self) -> int:
+        return sum(len(c.nodes) for c in self._classes.values())
+
+    def classes(self) -> Iterator[EClass]:
+        return iter(list(self._classes.values()))
+
+    def eclass(self, class_id: int) -> EClass:
+        return self._classes[self.find(class_id)]
+
+    def nodes_of(self, class_id: int) -> frozenset[ENode]:
+        return frozenset(self.eclass(class_id).nodes)
+
+    def find(self, class_id: int) -> int:
+        """Canonical id of the class containing ``class_id``."""
+        return self._uf.find(class_id)
+
+    def same(self, a: int, b: int) -> bool:
+        """True when ids ``a`` and ``b`` refer to the same e-class."""
+        return self._uf.same(a, b)
+
+    # --- insertion -----------------------------------------------------------
+
+    def canonicalize(self, node: ENode) -> ENode:
+        head, args = node
+        return (head, tuple(self._uf.find(a) for a in args))
+
+    def add_node(self, head, args: Iterable[int]) -> int:
+        """Insert an e-node, returning its e-class id (deduplicated)."""
+        node = (head, tuple(self._uf.find(a) for a in args))
+        existing = self._hashcons.get(node)
+        if existing is not None:
+            return self._uf.find(existing)
+        class_id = self._uf.make_set()
+        eclass = EClass(class_id)
+        eclass.nodes.add(node)
+        self._classes[class_id] = eclass
+        self._hashcons[node] = class_id
+        for arg in node[1]:
+            self._classes[arg].parents.append((node, class_id))
+        return class_id
+
+    def add_expr(self, expr: Expr) -> int:
+        """Insert a whole expression tree, returning the root's class id."""
+        if isinstance(expr, App):
+            args = tuple(self.add_expr(a) for a in expr.args)
+            return self.add_node(expr.op, args)
+        return self.add_node(head_of_expr(expr), ())
+
+    def lookup_expr(self, expr: Expr) -> int | None:
+        """Find the e-class of ``expr`` without inserting anything new."""
+        if isinstance(expr, App):
+            args = []
+            for a in expr.args:
+                cid = self.lookup_expr(a)
+                if cid is None:
+                    return None
+                args.append(cid)
+            node = (expr.op, tuple(args))
+        else:
+            node = (head_of_expr(expr), ())
+        found = self._hashcons.get(self.canonicalize(node))
+        return self._uf.find(found) if found is not None else None
+
+    # --- merging and rebuilding ------------------------------------------------
+
+    def union(self, a: int, b: int) -> int:
+        """Assert that classes ``a`` and ``b`` are equal; defer congruence."""
+        ra, rb = self._uf.find(a), self._uf.find(b)
+        if ra == rb:
+            return ra
+        self.version += 1
+        root = self._uf.union(ra, rb)
+        other = rb if root == ra else ra
+        winner, loser = self._classes[root], self._classes.pop(other)
+        winner.nodes.update(loser.nodes)
+        winner.parents.extend(loser.parents)
+        self._pending.append(root)
+        return root
+
+    def rebuild(self) -> None:
+        """Restore hashcons/congruence invariants after a batch of unions."""
+        while self._pending:
+            todo = {self._uf.find(c) for c in self._pending}
+            self._pending.clear()
+            for class_id in todo:
+                if class_id in self._classes:
+                    self._repair(class_id)
+
+    def _repair(self, class_id: int) -> None:
+        class_id = self._uf.find(class_id)
+        eclass = self._classes.get(class_id)
+        if eclass is None:
+            return
+        # Re-canonicalize this class's own nodes; congruent duplicates found
+        # in other classes trigger further (deferred) unions.
+        for node in list(eclass.nodes):
+            canon = self.canonicalize(node)
+            if canon != node:
+                self._hashcons.pop(node, None)
+            owner = self._hashcons.get(canon)
+            if owner is not None and not self._uf.same(owner, class_id):
+                self.union(owner, class_id)
+            self._hashcons[canon] = self._uf.find(class_id)
+        class_id = self._uf.find(class_id)
+        eclass = self._classes[class_id]
+        eclass.nodes = {self.canonicalize(n) for n in eclass.nodes}
+        # Repair and deduplicate parent back-references; congruent parents
+        # (same canonical node in two classes) are merged.
+        seen: dict[ENode, int] = {}
+        order: list[ENode] = []
+        for parent_node, parent_class in eclass.parents:
+            canon = self.canonicalize(parent_node)
+            if canon != parent_node:
+                self._hashcons.pop(parent_node, None)
+            parent_class = self._uf.find(parent_class)
+            prior = seen.get(canon)
+            if prior is not None:
+                if not self._uf.same(prior, parent_class):
+                    self.union(prior, parent_class)
+                seen[canon] = self._uf.find(parent_class)
+            else:
+                seen[canon] = parent_class
+                order.append(canon)
+            self._hashcons[canon] = self._uf.find(parent_class)
+        eclass.parents = [(n, seen[n]) for n in order]
+
+    # --- queries -----------------------------------------------------------------
+
+    def represents(self, class_id: int, expr: Expr) -> bool:
+        """True when the e-class contains (represents) ``expr``."""
+        found = self.lookup_expr(expr)
+        return found is not None and self.same(found, class_id)
+
+    def op_nodes(self, op) -> Iterator[tuple[ENode, int]]:
+        """Yield ``(enode, class_id)`` for every node whose head equals op."""
+        for eclass in list(self._classes.values()):
+            for node in list(eclass.nodes):
+                if node[0] == op:
+                    yield node, eclass.id
+
+    def expr_of_node(self, node: ENode, choose) -> Expr:
+        """Build an Expr from ``node``, choosing child exprs via ``choose``."""
+        head, args = node
+        if is_op_head(head):
+            return App(head, tuple(choose(a) for a in args))
+        return head_to_leaf_expr(head)

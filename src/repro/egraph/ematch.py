@@ -1,0 +1,107 @@
+"""E-matching: finding instances of a pattern inside an e-graph.
+
+Patterns are ordinary :class:`~repro.ir.expr.Expr` trees in which
+:class:`~repro.ir.expr.Var` nodes act as pattern variables.  A match binds
+each pattern variable to an e-class id.  This is the straightforward
+backtracking matcher (sufficient at our e-graph sizes); egg's relational
+virtual machine is an optimization of the same semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..ir.expr import App, Expr, Var
+from .egraph import EGraph
+from .enode import head_of_expr
+
+Subst = dict[str, int]
+
+
+def ematch_class(
+    egraph: EGraph, pattern: Expr, class_id: int, subst: Subst | None = None
+) -> Iterator[Subst]:
+    """Yield every substitution making ``pattern`` match e-class ``class_id``."""
+    yield from _match(egraph, pattern, egraph.find(class_id), subst or {})
+
+
+def _match(egraph: EGraph, pattern: Expr, class_id: int, subst: Subst) -> Iterator[Subst]:
+    if isinstance(pattern, Var):
+        bound = subst.get(pattern.name)
+        if bound is None:
+            new = dict(subst)
+            new[pattern.name] = class_id
+            yield new
+        elif egraph.same(bound, class_id):
+            yield subst
+        return
+    if not isinstance(pattern, App):
+        # Leaf literal/constant: matches iff this class contains that leaf.
+        if egraph.represents(class_id, pattern):
+            yield subst
+        return
+    arity = len(pattern.args)
+    for node in egraph.nodes_of(class_id):
+        head, args = node
+        if head != pattern.op or len(args) != arity:
+            continue
+        yield from _match_args(egraph, pattern.args, args, 0, subst)
+
+
+def _match_args(egraph, patterns, arg_classes, index, subst) -> Iterator[Subst]:
+    if index == len(patterns):
+        yield subst
+        return
+    for sub in _match(egraph, patterns[index], arg_classes[index], subst):
+        yield from _match_args(egraph, patterns, arg_classes, index + 1, sub)
+
+
+def search_pattern(
+    egraph: EGraph, pattern: Expr, limit: int | None = None
+) -> list[tuple[int, Subst]]:
+    """Find matches of ``pattern`` anywhere in the e-graph.
+
+    Returns ``(class_id, subst)`` pairs; ``class_id`` is the class the whole
+    pattern matched in.  ``limit`` bounds the number of matches collected.
+    """
+    results: list[tuple[int, Subst]] = []
+    if isinstance(pattern, App):
+        roots = egraph.op_nodes(pattern.op)
+        seen_classes: set[int] = set()
+        for _node, class_id in roots:
+            canon = egraph.find(class_id)
+            if canon in seen_classes:
+                continue
+            seen_classes.add(canon)
+            for subst in _match(egraph, pattern, canon, {}):
+                results.append((canon, subst))
+                if limit is not None and len(results) >= limit:
+                    return results
+    else:
+        seen: set[int] = set()
+        for eclass in egraph.classes():
+            canon = egraph.find(eclass.id)
+            if canon in seen:
+                continue
+            seen.add(canon)
+            for subst in _match(egraph, pattern, canon, {}):
+                results.append((canon, subst))
+                if limit is not None and len(results) >= limit:
+                    return results
+    return results
+
+
+def instantiate(egraph: EGraph, template: Expr, subst: Subst) -> int:
+    """Insert ``template`` (with pattern vars bound by ``subst``) and return
+    its e-class id."""
+    if isinstance(template, Var):
+        try:
+            return subst[template.name]
+        except KeyError:
+            raise KeyError(
+                f"unbound pattern variable {template.name!r} in rewrite rhs"
+            ) from None
+    if isinstance(template, App):
+        args = tuple(instantiate(egraph, a, subst) for a in template.args)
+        return egraph.add_node(template.op, args)
+    return egraph.add_node(head_of_expr(template), ())

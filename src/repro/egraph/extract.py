@@ -1,0 +1,107 @@
+"""Greedy lowest-cost extraction from an e-graph.
+
+This is the classic egg extractor: iterate to a fixpoint of per-class best
+costs, then read the chosen expression back out.  Chassis uses this untyped
+form for *real-number* simplification (e.g. inside the cost-opportunity
+analysis baseline and the Herbie-style simplifier); target-aware extraction
+lives in :mod:`repro.egraph.typed_extract`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..ir.expr import Expr
+from .egraph import EGraph
+from .enode import ENode, is_op_head
+
+#: Cost of one e-node given its head and its children's best costs.
+NodeCost = Callable[[object, list[float]], float]
+
+
+def ast_size_cost(head, child_costs: list[float]) -> float:
+    """The default cost function: AST node count."""
+    return 1.0 + sum(child_costs)
+
+
+class Extractor:
+    """Computes the lowest-cost expression represented by each e-class."""
+
+    def __init__(self, egraph: EGraph, node_cost: NodeCost = ast_size_cost):
+        self.egraph = egraph
+        self.node_cost = node_cost
+        self._best: dict[int, tuple[float, ENode]] = {}
+        self._run()
+
+    def _run(self) -> None:
+        egraph, best = self.egraph, self._best
+        changed = True
+        while changed:
+            changed = False
+            for eclass in egraph.classes():
+                cid = egraph.find(eclass.id)
+                current = best.get(cid)
+                for node in eclass.nodes:
+                    cost = self._node_cost(node)
+                    if cost is None or cost == float("inf"):
+                        continue
+                    if current is None or cost < current[0]:
+                        current = (cost, node)
+                        best[cid] = current
+                        changed = True
+
+    def _node_cost(self, node: ENode) -> float | None:
+        head, args = node
+        child_costs = []
+        for arg in args:
+            entry = self._best.get(self.egraph.find(arg))
+            if entry is None:
+                return None
+            child_costs.append(entry[0])
+        return self.node_cost(head, child_costs)
+
+    def cost_of(self, class_id: int) -> float | None:
+        """Best cost for the class, or None if nothing is extractable."""
+        entry = self._best.get(self.egraph.find(class_id))
+        return entry[0] if entry else None
+
+    def extract(self, class_id: int) -> Expr:
+        """The lowest-cost expression represented by ``class_id``."""
+        return self._build(self.egraph.find(class_id), {})
+
+    def _build(self, class_id: int, memo: dict[int, Expr]) -> Expr:
+        cached = memo.get(class_id)
+        if cached is not None:
+            return cached
+        entry = self._best.get(class_id)
+        if entry is None:
+            raise KeyError(f"e-class {class_id} has no extractable expression")
+        _cost, node = entry
+        expr = self.egraph.expr_of_node(
+            node, lambda cid: self._build(self.egraph.find(cid), memo)
+        )
+        memo[class_id] = expr
+        return expr
+
+
+def extract_best(
+    egraph: EGraph, class_id: int, node_cost: NodeCost = ast_size_cost
+) -> Expr:
+    """One-shot convenience wrapper around :class:`Extractor`."""
+    return Extractor(egraph, node_cost).extract(class_id)
+
+
+def real_only_cost(is_real: Callable[[str], bool]) -> NodeCost:
+    """A cost function that refuses non-real operator heads.
+
+    Used when simplifying desugared (pure real) expressions so extraction
+    never picks a float operator that happens to share the e-class.
+    """
+
+    def cost(head, child_costs):
+        if is_op_head(head) and not is_real(head):
+            return float("inf")
+        total = 1.0 + sum(child_costs)
+        return total if total != float("inf") else float("inf")
+
+    return cost

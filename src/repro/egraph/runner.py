@@ -1,0 +1,155 @@
+"""Equality saturation runner with resource limits (paper sections 3.3, 5.1).
+
+Runs a rule set to saturation or until a node/iteration/match budget is
+exhausted — the paper notes Chassis caps e-graphs at 8000 nodes; the default
+here is smaller because pure Python is slower, and is configurable.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from .egraph import EGraph
+from .ematch import instantiate, search_pattern
+from .rewrite import Rewrite
+
+
+@dataclass
+class RunnerLimits:
+    """Resource budget for one saturation run."""
+
+    max_iterations: int = 6
+    max_nodes: int = 4000
+    max_matches_per_rule: int = 400
+    time_limit: float = 10.0
+
+
+@dataclass
+class BackoffScheduler:
+    """egg-style rule scheduler: explosive rules are temporarily banned.
+
+    A rule that produces more than ``match_limit * 2^bans`` matches in one
+    iteration is banned for ``ban_length * 2^bans`` iterations.  This lets
+    cheap structural rules (commutativity, associativity) keep firing while
+    preventing any single rule from exhausting the node budget — the same
+    idea egg uses to stretch saturation budgets.
+    """
+
+    match_limit: int = 300
+    ban_length: int = 2
+
+    def __post_init__(self):
+        self._banned_until: dict[str, int] = {}
+        self._times_banned: dict[str, int] = {}
+
+    def can_fire(self, rule_name: str, iteration: int) -> bool:
+        return self._banned_until.get(rule_name, -1) <= iteration
+
+    def record_matches(self, rule_name: str, n_matches: int, iteration: int) -> bool:
+        """Register a rule's match count; returns False if it gets banned."""
+        bans = self._times_banned.get(rule_name, 0)
+        threshold = self.match_limit * (2**bans)
+        if n_matches > threshold:
+            self._times_banned[rule_name] = bans + 1
+            self._banned_until[rule_name] = iteration + self.ban_length * (2**bans)
+            return False
+        return True
+
+
+@dataclass
+class RunnerReport:
+    """What happened during a saturation run."""
+
+    iterations: int = 0
+    stop_reason: str = "saturated"
+    matches_applied: int = 0
+    rule_matches: dict[str, int] = field(default_factory=dict)
+    elapsed: float = 0.0
+
+
+def run_rules(
+    egraph: EGraph,
+    rules: list[Rewrite],
+    limits: RunnerLimits | None = None,
+    scheduler: BackoffScheduler | None = None,
+) -> RunnerReport:
+    """Apply ``rules`` to saturation within ``limits``.
+
+    Each iteration collects matches for *all* rules against the current
+    e-graph, then applies them in a batch and rebuilds — the standard egg
+    schedule, which keeps rule application order-independent within an
+    iteration.  An optional :class:`BackoffScheduler` temporarily bans rules
+    whose match counts explode.
+    """
+    limits = limits or RunnerLimits()
+    report = RunnerReport()
+    start = time.monotonic()
+
+    for iteration in range(limits.max_iterations):
+        report.iterations = iteration + 1
+        version_before = egraph.version
+        nodes_before = egraph.num_nodes
+
+        # Search phase: gather matches against a frozen view.
+        batches = []
+        throttled = False
+        for rule in rules:
+            if scheduler is not None and not scheduler.can_fire(rule.name, iteration):
+                throttled = True
+                continue
+            matches = search_pattern(
+                egraph, rule.lhs, limit=limits.max_matches_per_rule
+            )
+            if scheduler is not None and not scheduler.record_matches(
+                rule.name, len(matches), iteration
+            ):
+                throttled = True
+                continue
+            if matches:
+                batches.append((rule, matches))
+            if time.monotonic() - start > limits.time_limit:
+                report.stop_reason = "time-limit"
+                report.elapsed = time.monotonic() - start
+                egraph.rebuild()
+                return report
+
+        # Apply phase.
+        for rule, matches in batches:
+            applied = 0
+            for class_id, subst in matches:
+                if egraph.num_nodes >= limits.max_nodes:
+                    break
+                if rule.condition is not None and not rule.condition(egraph, subst):
+                    continue
+                new_id = instantiate(egraph, rule.rhs, subst)
+                egraph.union(egraph.find(class_id), new_id)
+                applied += 1
+            if applied:
+                report.rule_matches[rule.name] = (
+                    report.rule_matches.get(rule.name, 0) + applied
+                )
+                report.matches_applied += applied
+
+        egraph.rebuild()
+
+        if egraph.num_nodes >= limits.max_nodes:
+            report.stop_reason = "node-limit"
+            break
+        if (
+            egraph.version == version_before
+            and egraph.num_nodes == nodes_before
+            and not throttled
+        ):
+            # A banned rule might still fire later, so a quiet iteration
+            # under throttling is not saturation.
+            report.stop_reason = "saturated"
+            break
+        if time.monotonic() - start > limits.time_limit:
+            report.stop_reason = "time-limit"
+            break
+    else:
+        report.stop_reason = "iteration-limit"
+
+    report.elapsed = time.monotonic() - start
+    return report

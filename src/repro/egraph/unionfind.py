@@ -1,0 +1,48 @@
+"""Union-find (disjoint set) over dense integer ids, with path compression."""
+
+from __future__ import annotations
+
+
+class UnionFind:
+    """Classic disjoint-set-union keyed by consecutive integer ids."""
+
+    def __init__(self):
+        self._parent: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def make_set(self) -> int:
+        """Create a fresh singleton set and return its id."""
+        new_id = len(self._parent)
+        self._parent.append(new_id)
+        return new_id
+
+    def find(self, x: int) -> int:
+        """Return the canonical representative of ``x``'s set."""
+        root = x
+        parent = self._parent
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> int:
+        """Merge the sets of ``a`` and ``b``; returns the surviving root.
+
+        The smaller id wins, which keeps canonical ids stable over time (an
+        e-graph convenience: the id of an early-added expression survives
+        merges).
+        """
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if rb < ra:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        return ra
+
+    def same(self, a: int, b: int) -> bool:
+        """True when ``a`` and ``b`` are in the same set."""
+        return self.find(a) == self.find(b)

@@ -1,0 +1,47 @@
+"""Experiment harness regenerating the paper's tables and figures."""
+
+from .pareto import (
+    JointPoint,
+    geomean,
+    joint_pareto,
+    pareto_filter,
+    speedup_at_matched_accuracy,
+)
+from .report import (
+    clang_report,
+    cost_model_report,
+    herbie_relative_report,
+    herbie_report,
+    targets_table,
+)
+from .runner import (
+    ClangComparison,
+    CostModelPoint,
+    ExperimentConfig,
+    HerbieComparison,
+    correlation,
+    run_clang_comparison,
+    run_cost_model_study,
+    run_herbie_comparison,
+)
+
+__all__ = [
+    "JointPoint",
+    "geomean",
+    "joint_pareto",
+    "pareto_filter",
+    "speedup_at_matched_accuracy",
+    "ExperimentConfig",
+    "ClangComparison",
+    "HerbieComparison",
+    "CostModelPoint",
+    "run_clang_comparison",
+    "run_herbie_comparison",
+    "run_cost_model_study",
+    "correlation",
+    "targets_table",
+    "clang_report",
+    "herbie_report",
+    "herbie_relative_report",
+    "cost_model_report",
+]

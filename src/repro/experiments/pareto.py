@@ -1,0 +1,103 @@
+"""Cross-benchmark Pareto aggregation (paper figures 7-9).
+
+The paper aggregates per-benchmark Pareto curves into one joint curve by
+"computing the geometric mean of speedups and the sum of accuracies".  We
+sweep an accuracy threshold: at each threshold every benchmark contributes
+its fastest program at least that accurate (falling back to its most
+accurate program when none qualifies), giving one joint (geomean speedup,
+summed accuracy) point per threshold.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+#: One program's measurement: simulated speedup and accuracy in bits.
+Entry = tuple[float, float]
+
+
+@dataclass(frozen=True)
+class JointPoint:
+    """One point of a joint Pareto curve."""
+
+    speedup: float
+    total_accuracy: float
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean; requires positive values."""
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    return math.exp(sum(math.log(max(v, 1e-12)) for v in values) / len(values))
+
+
+def pareto_filter(entries: Sequence[Entry]) -> list[Entry]:
+    """Keep entries not dominated in (speedup up, accuracy up)."""
+    kept: list[Entry] = []
+    for speedup, accuracy in sorted(entries, key=lambda e: (-e[0], -e[1])):
+        if not kept or accuracy > kept[-1][1] + 1e-12:
+            kept.append((speedup, accuracy))
+    return kept
+
+
+def joint_pareto(
+    per_benchmark: Sequence[Sequence[Entry]],
+    n_thresholds: int = 33,
+    max_bits: float = 64.0,
+) -> list[JointPoint]:
+    """Aggregate per-benchmark (speedup, accuracy-bits) curves.
+
+    Benchmarks with no entries are ignored; the returned curve is itself
+    Pareto-filtered and sorted by increasing accuracy.
+    """
+    curves = [pareto_filter(entries) for entries in per_benchmark if entries]
+    if not curves:
+        return []
+
+    points: list[JointPoint] = []
+    for k in range(n_thresholds + 1):
+        threshold = max_bits * k / n_thresholds
+        speedups, accuracies = [], []
+        for curve in curves:
+            qualifying = [e for e in curve if e[1] >= threshold]
+            if qualifying:
+                best = max(qualifying, key=lambda e: e[0])
+            else:
+                best = max(curve, key=lambda e: e[1])  # most accurate fallback
+            speedups.append(best[0])
+            accuracies.append(best[1])
+        points.append(JointPoint(geomean(speedups), sum(accuracies)))
+
+    # Deduplicate and keep the non-dominated sweep.
+    unique: dict[tuple[float, float], JointPoint] = {}
+    for point in points:
+        unique[(round(point.speedup, 6), round(point.total_accuracy, 4))] = point
+    filtered = pareto_filter(
+        [(p.speedup, p.total_accuracy) for p in unique.values()]
+    )
+    return [JointPoint(s, a) for s, a in sorted(filtered, key=lambda e: e[1])]
+
+
+def speedup_at_matched_accuracy(
+    ours: Sequence[Entry], baseline: Sequence[Entry]
+) -> list[tuple[float, float]]:
+    """Per-accuracy speedup of ``ours`` over ``baseline`` (figure 9 view).
+
+    For each baseline point, find our fastest entry at least as accurate;
+    returns (accuracy, ours_speedup / baseline_speedup) pairs.  Accuracies
+    where we have nothing comparable yield ratios < 1 computed against our
+    most accurate program — producing the paper's right-hand "tails".
+    """
+    our_curve = pareto_filter(ours)
+    out: list[tuple[float, float]] = []
+    for base_speed, base_acc in pareto_filter(baseline):
+        qualifying = [e for e in our_curve if e[1] >= base_acc]
+        mine = (
+            max(qualifying, key=lambda e: e[0])
+            if qualifying
+            else max(our_curve, key=lambda e: e[1])
+        )
+        out.append((base_acc, mine[0] / max(base_speed, 1e-12)))
+    return sorted(out)

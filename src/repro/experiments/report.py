@@ -1,0 +1,134 @@
+"""Report printers: render each experiment as the paper's rows/series."""
+
+from __future__ import annotations
+
+from io import StringIO
+
+from ..targets.target import Target
+from .pareto import JointPoint, joint_pareto, speedup_at_matched_accuracy
+from .runner import ClangComparison, CostModelPoint, HerbieComparison, correlation
+
+
+def targets_table(targets: list[Target]) -> str:
+    """Figure 6: the target-description table."""
+    out = StringIO()
+    out.write(f"{'Target':<11}{'Ops':>5}  {'L/E':<4}{'S/V':<4}{'Costs':<22}Notes\n")
+    out.write("-" * 78 + "\n")
+    for target in targets:
+        style = "S" if target.if_style == "scalar" else "V"
+        out.write(
+            f"{target.name:<11}{len(target.operators):>5}  "
+            f"{target.linkage:<4}{style:<4}{target.cost_source:<22}"
+            f"{target.description}\n"
+        )
+    return out.getvalue()
+
+
+def _curve_rows(points: list[JointPoint]) -> str:
+    return "\n".join(
+        f"    speedup {p.speedup:7.3f}x   total accuracy {p.total_accuracy:9.1f} bits"
+        for p in points
+    )
+
+
+def clang_report(results: list[ClangComparison]) -> str:
+    """Figure 7: joint Pareto of Chassis vs 12 Clang configurations."""
+    out = StringIO()
+    out.write(f"Figure 7 — Chassis vs Clang on C99 ({len(results)} benchmarks)\n\n")
+    chassis_curve = joint_pareto([r.chassis for r in results])
+    out.write("Chassis joint Pareto curve:\n")
+    out.write(_curve_rows(chassis_curve) + "\n\n")
+
+    config_names = sorted({name for r in results for name in r.clang})
+    out.write(f"{'Clang configuration':<22}{'geomean speedup':>16}{'total accuracy':>16}\n")
+    from .pareto import geomean
+
+    best_fast_speedup = 0.0
+    for name in config_names:
+        entries = [r.clang[name] for r in results if name in r.clang]
+        speedup = geomean([e[0] for e in entries])
+        accuracy = sum(e[1] for e in entries)
+        out.write(f"{name:<22}{speedup:>15.3f}x{accuracy:>15.1f}\n")
+        best_fast_speedup = max(best_fast_speedup, speedup)
+
+    if chassis_curve:
+        chassis_best = max(p.speedup for p in chassis_curve)
+        out.write(
+            f"\nChassis best speedup {chassis_best:.2f}x vs best Clang config "
+            f"{best_fast_speedup:.2f}x -> advantage {chassis_best / max(best_fast_speedup, 1e-9):.2f}x\n"
+        )
+    chassis_time = sum(r.chassis_compile_s for r in results) / max(1, len(results))
+    clang_time = sum(r.clang_compile_s for r in results) / max(1, len(results))
+    out.write(
+        f"Compiler run time per benchmark: Chassis {chassis_time:.2f}s vs "
+        f"Clang (12 configs) {clang_time:.3f}s\n"
+    )
+    return out.getvalue()
+
+
+def herbie_report(results: list[HerbieComparison]) -> str:
+    """Figure 8: per-target joint Pareto curves, speedup over inputs."""
+    out = StringIO()
+    targets = sorted({r.target for r in results})
+    out.write(f"Figure 8 — Chassis vs Herbie ({len(results)} benchmark*target points)\n")
+    for target in targets:
+        rows = [r for r in results if r.target == target]
+        chassis = joint_pareto([r.chassis for r in rows])
+        herbie = joint_pareto([r.herbie for r in rows])
+        out.write(f"\n  target {target} ({len(rows)} benchmarks)\n")
+        out.write("   Chassis:\n" + _indent(_curve_rows(chassis)) + "\n")
+        out.write("   Herbie:\n" + _indent(_curve_rows(herbie)) + "\n")
+        best_c = max((p.speedup for p in chassis), default=1.0)
+        best_h = max((p.speedup for p in herbie), default=1.0)
+        out.write(
+            f"   max speedups: Chassis {best_c:.2f}x vs Herbie {best_h:.2f}x "
+            f"-> gap {best_c / max(best_h, 1e-9):.2f}x\n"
+        )
+    return out.getvalue()
+
+
+def herbie_relative_report(results: list[HerbieComparison]) -> str:
+    """Figure 9: speedup over Herbie's program at matched accuracy."""
+    out = StringIO()
+    targets = sorted({r.target for r in results})
+    out.write("Figure 9 — Chassis speedup over Herbie at matched accuracy\n")
+    from .pareto import geomean
+
+    for target in targets:
+        rows = [r for r in results if r.target == target]
+        ratios: list[float] = []
+        tails = 0
+        for row in rows:
+            matched = speedup_at_matched_accuracy(row.chassis, row.herbie)
+            for _acc, ratio in matched:
+                ratios.append(ratio)
+                if ratio < 0.8:
+                    tails += 1
+        if not ratios:
+            continue
+        out.write(
+            f"  {target:<10} geomean ratio {geomean(ratios):6.3f}x over "
+            f"{len(ratios)} matched points ({tails} tail points < 0.8x)\n"
+        )
+    return out.getvalue()
+
+
+def cost_model_report(points: list[CostModelPoint]) -> str:
+    """Figure 10: cost-estimate vs run-time correlation."""
+    out = StringIO()
+    r = correlation(points)
+    out.write(
+        f"Figure 10 — cost model vs simulated run time "
+        f"({len(points)} programs): Pearson r (log-log) = {r:.3f}\n"
+    )
+    targets = sorted({p.target for p in points})
+    for target in targets:
+        subset = [p for p in points if p.target == target]
+        out.write(
+            f"  {target:<10} n={len(subset):<4} r={correlation(subset):6.3f}\n"
+        )
+    return out.getvalue()
+
+
+def _indent(text: str, prefix: str = "   ") -> str:
+    return "\n".join(prefix + line for line in text.splitlines())

@@ -1,0 +1,144 @@
+"""Evaluation machine for floating-point programs.
+
+Evaluates mixed-format float expressions (trees of *target operators*) at
+concrete input points, using the operator implementations supplied by a
+target description.  Expressions are compiled once into nested Python
+closures and then run at many points, since accuracy scoring evaluates every
+candidate on the whole training set.
+
+The machine is deliberately independent of :mod:`repro.targets`: it works
+against the small :class:`OpSpec` protocol so it can be tested in isolation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Mapping, Protocol
+
+from ..ir.expr import App, Const, Expr, Num, Var
+from ..ir.types import F32, F64
+from .impls import to_f32
+
+
+class OpSpec(Protocol):
+    """What the machine needs to know about one target operator."""
+
+    arg_types: tuple[str, ...]
+    ret_type: str
+
+    @property
+    def impl(self) -> Callable[..., float]: ...
+
+
+class UnsupportedOperator(KeyError):
+    """The expression uses an operator the target does not provide."""
+
+
+def round_literal(value, ty: str) -> float:
+    """Round an exact literal (Fraction) into float format ``ty``."""
+    try:
+        as_float = float(value)
+    except OverflowError:
+        as_float = math.inf if value > 0 else -math.inf
+    return to_f32(as_float) if ty == F32 else as_float
+
+
+_CONST_VALUES = {"PI": math.pi, "E": math.e, "INFINITY": math.inf, "NAN": math.nan}
+
+_COMPARISONS = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+Point = Mapping[str, float]
+Evaluator = Callable[[Point], float]
+
+
+def compile_expr(
+    expr: Expr, ops: Mapping[str, OpSpec], expected_ty: str = F64
+) -> Evaluator:
+    """Compile a float program into a closure evaluating one input point.
+
+    ``expected_ty`` is the format literals are materialized in when the
+    surrounding context doesn't dictate one (the program's output format).
+    """
+    if isinstance(expr, Var):
+        name = expr.name
+        return lambda point: point[name]
+    if isinstance(expr, Num):
+        value = round_literal(expr.value, expected_ty)
+        return lambda point: value
+    if isinstance(expr, Const):
+        raw = _CONST_VALUES.get(expr.name)
+        if raw is None:
+            raise UnsupportedOperator(f"constant {expr.name} in value position")
+        value = to_f32(raw) if expected_ty == F32 else raw
+        return lambda point: value
+    assert isinstance(expr, App)
+    if expr.op == "if":
+        cond = compile_condition(expr.args[0], ops, expected_ty)
+        then_fn = compile_expr(expr.args[1], ops, expected_ty)
+        else_fn = compile_expr(expr.args[2], ops, expected_ty)
+        return lambda point: then_fn(point) if cond(point) else else_fn(point)
+    spec = ops.get(expr.op)
+    if spec is None:
+        raise UnsupportedOperator(expr.op)
+    if len(spec.arg_types) != len(expr.args):
+        raise UnsupportedOperator(
+            f"{expr.op} expects {len(spec.arg_types)} args, got {len(expr.args)}"
+        )
+    arg_fns = tuple(
+        compile_expr(arg, ops, arg_ty)
+        for arg, arg_ty in zip(expr.args, spec.arg_types)
+    )
+    impl = spec.impl
+    if len(arg_fns) == 1:
+        (f0,) = arg_fns
+        return lambda point: impl(f0(point))
+    if len(arg_fns) == 2:
+        f0, f1 = arg_fns
+        return lambda point: impl(f0(point), f1(point))
+    if len(arg_fns) == 3:
+        f0, f1, f2 = arg_fns
+        return lambda point: impl(f0(point), f1(point), f2(point))
+    return lambda point: impl(*[fn(point) for fn in arg_fns])
+
+
+def compile_condition(
+    expr: Expr, ops: Mapping[str, OpSpec], expected_ty: str = F64
+) -> Callable[[Point], bool]:
+    """Compile a boolean condition (comparisons over float operands)."""
+    if isinstance(expr, Const):
+        if expr.name == "TRUE":
+            return lambda point: True
+        if expr.name == "FALSE":
+            return lambda point: False
+    if isinstance(expr, App):
+        if expr.op == "and":
+            left = compile_condition(expr.args[0], ops, expected_ty)
+            right = compile_condition(expr.args[1], ops, expected_ty)
+            return lambda point: left(point) and right(point)
+        if expr.op == "or":
+            left = compile_condition(expr.args[0], ops, expected_ty)
+            right = compile_condition(expr.args[1], ops, expected_ty)
+            return lambda point: left(point) or right(point)
+        if expr.op == "not":
+            inner = compile_condition(expr.args[0], ops, expected_ty)
+            return lambda point: not inner(point)
+        compare = _COMPARISONS.get(expr.op)
+        if compare is not None:
+            left = compile_expr(expr.args[0], ops, expected_ty)
+            right = compile_expr(expr.args[1], ops, expected_ty)
+            return lambda point: compare(left(point), right(point))
+    raise UnsupportedOperator(f"not a condition: {expr!r}")
+
+
+def eval_expr(
+    expr: Expr, point: Point, ops: Mapping[str, OpSpec], expected_ty: str = F64
+) -> float:
+    """One-shot evaluation (compiles then runs; prefer compile_expr in loops)."""
+    return compile_expr(expr, ops, expected_ty)(point)

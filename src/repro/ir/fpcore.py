@@ -1,0 +1,129 @@
+"""FPCore benchmark objects: a named real expression with typed arguments.
+
+An :class:`FPCore` bundles the information Chassis needs about one input
+program: the argument names and their floating-point format, an optional
+precondition constraining valid inputs, and the real-number body expression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.types import F64, is_float_type
+from .expr import Expr
+from .parser import ParseError, expr_from_sexpr, parse_sexpr, parse_sexprs
+from .printer import expr_to_sexpr
+
+
+@dataclass(frozen=True)
+class FPCore:
+    """One FPCore benchmark: ``(FPCore name? (args ...) :props ... body)``."""
+
+    arguments: tuple[str, ...]
+    body: Expr
+    name: str = ""
+    precision: str = F64
+    pre: Expr | None = None
+    properties: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self):
+        if not is_float_type(self.precision):
+            raise ValueError(f"bad FPCore precision: {self.precision!r}")
+        unknown = self.body.free_vars() - set(self.arguments)
+        if unknown:
+            raise ValueError(f"unbound variables in body: {sorted(unknown)}")
+
+    @property
+    def arg_types(self) -> dict[str, str]:
+        """Mapping of argument name to its floating-point format."""
+        return {a: self.precision for a in self.arguments}
+
+    def to_sexpr(self) -> str:
+        """Render back to FPCore source text."""
+        parts = ["FPCore"]
+        if self.name:
+            parts.append(_mangle(self.name))
+        parts.append("(" + " ".join(self.arguments) + ")")
+        parts.append(f":precision {self.precision}")
+        if "name" in self.properties:
+            parts.append(f':name "{self.properties["name"]}"')
+        if self.pre is not None:
+            parts.append(f":pre {expr_to_sexpr(self.pre)}")
+        parts.append(expr_to_sexpr(self.body))
+        return "(" + " ".join(parts) + ")"
+
+    def __str__(self) -> str:
+        return self.to_sexpr()
+
+
+def _mangle(name: str) -> str:
+    return name if " " not in name else name.replace(" ", "-")
+
+
+def parse_fpcore(text: str, known_ops=None) -> FPCore:
+    """Parse one FPCore form from source text."""
+    return fpcore_from_sexpr(parse_sexpr(text), known_ops)
+
+
+def parse_fpcores(text: str, known_ops=None) -> list[FPCore]:
+    """Parse every FPCore form in a source file."""
+    return [fpcore_from_sexpr(sx, known_ops) for sx in parse_sexprs(text)]
+
+
+def fpcore_from_sexpr(sx, known_ops=None) -> FPCore:
+    """Build an :class:`FPCore` from a parsed S-expression list."""
+    if not (isinstance(sx, list) and sx and sx[0] == "FPCore"):
+        raise ParseError("not an FPCore form")
+    rest = sx[1:]
+    name = ""
+    if rest and isinstance(rest[0], str):
+        name = rest[0]
+        rest = rest[1:]
+    if not rest or not isinstance(rest[0], list):
+        raise ParseError("FPCore requires an argument list")
+    arg_list = rest[0]
+    rest = rest[1:]
+    arguments = []
+    for arg in arg_list:
+        if isinstance(arg, str):
+            arguments.append(arg)
+        elif isinstance(arg, list) and arg and arg[0] == "!":
+            # annotated argument (! :precision binary32 x); keep the name
+            arguments.append(arg[-1])
+        else:
+            raise ParseError(f"bad FPCore argument: {arg!r}")
+
+    properties: dict = {}
+    body_sx = None
+    i = 0
+    while i < len(rest):
+        item = rest[i]
+        if isinstance(item, str) and item.startswith(":"):
+            if i + 1 >= len(rest):
+                raise ParseError(f"property {item} missing a value")
+            properties[item[1:]] = rest[i + 1]
+            i += 2
+        else:
+            if body_sx is not None:
+                raise ParseError("multiple FPCore bodies")
+            body_sx = item
+            i += 1
+    if body_sx is None:
+        raise ParseError("FPCore has no body")
+
+    precision = properties.pop("precision", F64)
+    pre_sx = properties.pop("pre", None)
+    pre = expr_from_sexpr(pre_sx, known_ops) if pre_sx is not None else None
+    if "name" in properties and isinstance(properties["name"], str):
+        properties["name"] = properties["name"].strip('"')
+        if not name:
+            name = properties["name"]
+    body = expr_from_sexpr(body_sx, known_ops)
+    return FPCore(
+        arguments=tuple(arguments),
+        body=body,
+        name=name,
+        precision=precision,
+        pre=pre,
+        properties=properties,
+    )

@@ -1,0 +1,207 @@
+"""S-expression and FPCore parsing.
+
+FPCore [Damouche et al. 2017] is the standard interchange format for
+floating-point benchmarks and is Chassis' input format (paper section 2).
+This module parses a practical subset: named cores, argument lists,
+``:precision``/``:name``/``:pre`` and other properties, and the operator set
+from :mod:`repro.ir.ops`.
+"""
+
+from __future__ import annotations
+
+from decimal import Decimal
+from fractions import Fraction
+
+from .expr import App, Const, Expr, Num, Var
+from .ops import is_real_op
+
+# --- tokenizer ----------------------------------------------------------------
+
+
+def tokenize(text: str) -> list[str]:
+    """Split S-expression source into parenthesis, string and atom tokens."""
+    tokens: list[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c in " \t\r\n":
+            i += 1
+        elif c == ";":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif c in "()[]":
+            tokens.append("(" if c in "([" else ")")
+            i += 1
+        elif c == '"':
+            j = i + 1
+            while j < n and text[j] != '"':
+                j += 1
+            if j >= n:
+                raise ParseError("unterminated string literal")
+            tokens.append(text[i : j + 1])
+            i = j + 1
+        else:
+            j = i
+            while j < n and text[j] not in ' \t\r\n()[];"':
+                j += 1
+            tokens.append(text[i:j])
+            i = j
+    return tokens
+
+
+class ParseError(ValueError):
+    """Raised for malformed S-expression or FPCore input."""
+
+
+SExpr = "str | list"
+
+
+def parse_sexprs(text: str) -> list:
+    """Parse source text into a list of nested-list S-expressions."""
+    tokens = tokenize(text)
+    out: list = []
+    pos = 0
+    while pos < len(tokens):
+        node, pos = _read(tokens, pos)
+        out.append(node)
+    return out
+
+
+def parse_sexpr(text: str):
+    """Parse exactly one S-expression from ``text``."""
+    forms = parse_sexprs(text)
+    if len(forms) != 1:
+        raise ParseError(f"expected one S-expression, found {len(forms)}")
+    return forms[0]
+
+
+def _read(tokens: list[str], pos: int):
+    if pos >= len(tokens):
+        raise ParseError("unexpected end of input")
+    tok = tokens[pos]
+    if tok == "(":
+        items = []
+        pos += 1
+        while pos < len(tokens) and tokens[pos] != ")":
+            item, pos = _read(tokens, pos)
+            items.append(item)
+        if pos >= len(tokens):
+            raise ParseError("missing closing parenthesis")
+        return items, pos + 1
+    if tok == ")":
+        raise ParseError("unexpected closing parenthesis")
+    return tok, pos + 1
+
+
+# --- numbers -------------------------------------------------------------------
+
+
+def parse_number(token: str) -> Fraction | None:
+    """Parse a decimal or rational numeric token into an exact Fraction.
+
+    Returns ``None`` when the token is not numeric.
+    """
+    if "/" in token:
+        num, _, den = token.partition("/")
+        try:
+            return Fraction(int(num), int(den))
+        except ValueError:
+            return None
+    try:
+        return Fraction(Decimal(token))
+    except (ValueError, ArithmeticError):
+        return None
+
+
+# --- expression parsing ----------------------------------------------------------
+
+_CONST_NAMES = {
+    "PI": "PI",
+    "E": "E",
+    "INFINITY": "INFINITY",
+    "NAN": "NAN",
+    "TRUE": "TRUE",
+    "FALSE": "FALSE",
+    "LN2": None,  # expanded below
+}
+
+
+def expr_from_sexpr(sx, known_ops=None) -> Expr:
+    """Convert a nested-list S-expression to an :class:`Expr`.
+
+    ``known_ops`` optionally extends the recognized operator set (target
+    operator names like ``rcp.f32``); any head symbol that is a registered
+    real op or a member of ``known_ops`` parses as an :class:`App`.
+    """
+    if isinstance(sx, str):
+        value = parse_number(sx)
+        if value is not None:
+            return Num(value)
+        if sx in ("PI", "E", "INFINITY", "NAN", "TRUE", "FALSE"):
+            return Const(sx)
+        if sx == "LN2":
+            return App("log", (Num(2),))
+        return Var(sx)
+    if not sx:
+        raise ParseError("empty application")
+    head = sx[0]
+    if not isinstance(head, str):
+        raise ParseError(f"operator position must be a symbol: {head!r}")
+    if head in ("let", "let*"):
+        return _expand_let(sx, known_ops)
+    args = tuple(expr_from_sexpr(a, known_ops) for a in sx[1:])
+    if head == "-" and len(args) == 1:
+        return App("neg", args)
+    if head == "+" and len(args) == 1:
+        return args[0]
+    if head in ("+", "-", "*") and len(args) > 2:
+        # FPCore allows variadic arithmetic; left-associate.
+        acc = args[0]
+        for a in args[1:]:
+            acc = App(head, (acc, a))
+        return acc
+    if head in ("<", "<=", ">", ">=", "==") and len(args) > 2:
+        # FPCore chained comparison: (< a b c) means a < b and b < c.
+        clauses = [App(head, (args[i], args[i + 1])) for i in range(len(args) - 1)]
+        acc = clauses[0]
+        for clause in clauses[1:]:
+            acc = App("and", (acc, clause))
+        return acc
+    if head == "and" and len(args) > 2:
+        acc = args[0]
+        for a in args[1:]:
+            acc = App("and", (acc, a))
+        return acc
+    if head == "or" and len(args) > 2:
+        acc = args[0]
+        for a in args[1:]:
+            acc = App("or", (acc, a))
+        return acc
+    if is_real_op(head) or (known_ops and head in known_ops):
+        return App(head, args)
+    raise ParseError(f"unknown operator {head!r}")
+
+
+def _expand_let(sx, known_ops) -> Expr:
+    """Expand ``let``/``let*`` by substitution (the IR has no binders)."""
+    if len(sx) != 3:
+        raise ParseError("let requires bindings and a body")
+    _, bindings, body_sx = sx
+    env: dict[str, Expr] = {}
+    for binding in bindings:
+        if not (isinstance(binding, list) and len(binding) == 2):
+            raise ParseError(f"bad let binding: {binding!r}")
+        name, value_sx = binding
+        value = expr_from_sexpr(value_sx, known_ops)
+        if sx[0] == "let*":
+            value = value.substitute(env)
+        env[name] = value
+    body = expr_from_sexpr(body_sx, known_ops)
+    if sx[0] == "let":
+        return body.substitute(env)
+    return body.substitute(env)
+
+
+def parse_expr(text: str, known_ops=None) -> Expr:
+    """Parse a single expression from S-expression source text."""
+    return expr_from_sexpr(parse_sexpr(text), known_ops)

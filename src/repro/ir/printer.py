@@ -1,0 +1,84 @@
+"""Printers from the expression IR back to S-expression text.
+
+The inverse of :mod:`repro.ir.parser`: ``parse_expr(expr_to_sexpr(e)) == e``
+for every expression over known operators (tested by round-trip property
+tests).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from .expr import App, Const, Expr, Num, Var
+
+
+def format_fraction(value: Fraction) -> str:
+    """Render a Fraction as FPCore source: integer, decimal, or ``p/q``."""
+    if value.denominator == 1:
+        return str(value.numerator)
+    # Exact decimal representation when the denominator is a power of (2*5).
+    den = value.denominator
+    twos = fives = 0
+    while den % 2 == 0:
+        den //= 2
+        twos += 1
+    while den % 5 == 0:
+        den //= 5
+        fives += 1
+    if den == 1:
+        shift = max(twos, fives)
+        scaled = value.numerator * 10**shift // value.denominator
+        text = str(abs(scaled)).rjust(shift + 1, "0")
+        sign = "-" if scaled < 0 else ""
+        return f"{sign}{text[:-shift]}.{text[-shift:]}" if shift else str(scaled)
+    return f"{value.numerator}/{value.denominator}"
+
+
+def expr_to_sexpr(expr: Expr) -> str:
+    """Render an expression as S-expression source text."""
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, Const):
+        return expr.name
+    if isinstance(expr, Num):
+        return format_fraction(expr.value)
+    if isinstance(expr, App):
+        if expr.op == "neg":
+            return f"(- {expr_to_sexpr(expr.args[0])})"
+        inner = " ".join(expr_to_sexpr(a) for a in expr.args)
+        return f"({expr.op} {inner})" if inner else f"({expr.op})"
+    raise TypeError(f"not an Expr: {expr!r}")
+
+
+def expr_to_infix(expr: Expr) -> str:
+    """Render an expression in human-friendly infix notation (for reports)."""
+    return _infix(expr, 0)
+
+
+_BINARY = {"+": (1, "+"), "-": (1, "-"), "*": (2, "*"), "/": (2, "/")}
+_CMP = {"<", "<=", ">", ">=", "==", "!="}
+
+
+def _infix(expr: Expr, parent_prec: int) -> str:
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, Const):
+        return expr.name
+    if isinstance(expr, Num):
+        return format_fraction(expr.value)
+    assert isinstance(expr, App)
+    if expr.op in _BINARY and len(expr.args) == 2:
+        prec, sym = _BINARY[expr.op]
+        left = _infix(expr.args[0], prec)
+        right = _infix(expr.args[1], prec + 1)
+        text = f"{left} {sym} {right}"
+        return f"({text})" if prec < parent_prec else text
+    if expr.op == "neg":
+        return f"-{_infix(expr.args[0], 3)}"
+    if expr.op in _CMP and len(expr.args) == 2:
+        return f"{_infix(expr.args[0], 1)} {expr.op} {_infix(expr.args[1], 1)}"
+    if expr.op == "if":
+        c, t, e = (_infix(a, 0) for a in expr.args)
+        return f"(if {c} then {t} else {e})"
+    inner = ", ".join(_infix(a, 0) for a in expr.args)
+    return f"{expr.op}({inner})"

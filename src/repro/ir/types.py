@@ -1,0 +1,40 @@
+"""Floating-point and real types used throughout the compiler IR.
+
+Chassis works over *mixed* real/float expressions (paper section 5.1).  Every
+operator in the IR has a type drawn from this module: the mathematical
+``REAL`` type for pure real-number operators, and concrete IEEE-754 formats
+(``binary32``/``binary64``) for target operators.
+"""
+
+from __future__ import annotations
+
+REAL = "real"
+F32 = "binary32"
+F64 = "binary64"
+BOOL = "bool"
+
+#: All floating-point formats supported by built-in targets.
+FLOAT_TYPES = (F32, F64)
+
+#: Number of bits in the encoding of each float format.  Used as the maximum
+#: number of "bits of error" assignable to a result in that format (a result
+#: can never be more than 2^bits ULPs away from the truth).
+TYPE_BITS = {F32: 32, F64: 64}
+
+#: Significand precision (including the hidden bit) of each format.
+TYPE_PRECISION = {F32: 24, F64: 53}
+
+#: Exponent range (emin, emax) for normalized values of each format.
+TYPE_EXPONENT_RANGE = {F32: (-126, 127), F64: (-1022, 1023)}
+
+
+def is_float_type(ty: str) -> bool:
+    """Return True when ``ty`` names a concrete IEEE-754 format."""
+    return ty in TYPE_BITS
+
+
+def check_float_type(ty: str) -> str:
+    """Validate that ``ty`` is a float format, returning it unchanged."""
+    if not is_float_type(ty):
+        raise ValueError(f"not a floating-point type: {ty!r}")
+    return ty

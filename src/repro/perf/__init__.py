@@ -1,0 +1,5 @@
+"""Performance simulation (testbed substitute; see DESIGN.md)."""
+
+from .simulator import PerfSimulator
+
+__all__ = ["PerfSimulator"]

@@ -1,0 +1,197 @@
+"""Deterministic performance simulator — our stand-in for the paper's testbed.
+
+The paper measures wall-clock time of compiled programs on an AMD EPYC 7702
+over 10 000 pre-sampled points.  We cannot measure hardware, so this module
+*simulates* program run time from each operator's true latency plus the
+input-dependent effects section 7 of the paper identifies as the reasons
+cost models and run times diverge:
+
+* denormal inputs slow hardware multiply/divide/sqrt dramatically,
+* division by zero raises an exception on the Python target,
+* instruction-level parallelism: hardware overlaps independent operations,
+  so wide expression trees run closer to their *critical-path* latency
+  while interpreters serialize every operation — a structural divergence
+  from any sum-of-costs model,
+* per-point and per-program multiplicative jitter (cache and code-layout
+  effects, measurement noise), derived deterministically from hashes so
+  every run is reproducible.
+
+Chassis' cost models never see these true latencies — they see auto-tuned
+estimates (:mod:`repro.targets.autotune`) or published instruction tables,
+which is exactly the information regime of the paper (figure 10).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+from ..fpeval.machine import _COMPARISONS, round_literal
+from ..ir.expr import App, Const, Expr, Num, Var
+from ..ir.types import F64
+from ..targets.target import VECTOR, Target
+
+#: Smallest normal magnitudes; inputs below these are denormal.
+_MIN_NORMAL_F64 = 2.2250738585072014e-308
+#: Latency multiplier hardware pays on denormal operands.
+_DENORMAL_PENALTY = 8.0
+#: Exception-handling cost (ns) for Python division by zero.
+_EXCEPTION_COST = 400.0
+
+_MULDIV_OPS = ("mul", "div", "sqrt", "fma", "rcp", "rsqrt")
+
+
+def _is_denormal(value: float) -> bool:
+    return value != 0.0 and abs(value) < _MIN_NORMAL_F64
+
+
+def _jitter(key: tuple, spread: float = 0.05) -> float:
+    """Deterministic multiplicative noise in [1-spread, 1+spread]."""
+    h = hash(key) & 0xFFFFFFFF
+    return 1.0 - spread + 2.0 * spread * (h / 0xFFFFFFFF)
+
+
+class PerfSimulator:
+    """Simulates the run time (ns) of float programs on a target."""
+
+    def __init__(self, target: Target):
+        self.target = target
+        self._impls = target.impl_registry()
+
+    # --- public API ---------------------------------------------------------------
+
+    def run_time(
+        self, expr: Expr, points: list[Mapping[str, float]], ty: str = F64
+    ) -> float:
+        """Mean simulated nanoseconds per evaluation over ``points``.
+
+        Each point's time lies between the critical-path latency (perfect
+        instruction-level parallelism) and the serial sum of latencies,
+        weighted by how much ILP the target's execution model exposes.
+        A per-program jitter models code-layout and cache effects.
+        """
+        if not points:
+            raise ValueError("need at least one point to simulate run time")
+        serial = self._serial_fraction()
+        total = 0.0
+        for index, point in enumerate(points):
+            _value, cost_sum, cost_path = self._eval(expr, point, ty, index)
+            total += cost_path + serial * (cost_sum - cost_path)
+        mean = total / len(points)
+        return mean * _jitter(("program", self.target.name, hash(expr)), 0.08)
+
+    def _serial_fraction(self) -> float:
+        """How serialized execution is: ~0 = perfect ILP, 1 = interpreter."""
+        overhead = self.target.perf_overhead
+        if overhead < 5.0:
+            return 0.35  # out-of-order hardware overlaps independent ops
+        if overhead < 10.0:
+            return 0.7
+        return 0.95  # bytecode interpreters execute one op at a time
+
+    def operator_run_time(self, op_name: str, points: list[tuple], index0: int = 0) -> float:
+        """Mean simulated time of one bare operator call (for auto-tuning)."""
+        op = self.target.operator(op_name)
+        total = 0.0
+        for index, args in enumerate(points):
+            total += self._op_cost(op_name, args, index0 + index)
+        return total / max(1, len(points))
+
+    # --- simulation core -----------------------------------------------------------
+
+    def _eval(
+        self, expr: Expr, point: Mapping[str, float], ty: str, index: int
+    ) -> tuple[float, float, float]:
+        """Return (value, serial-sum ns, critical-path ns) for one point."""
+        if isinstance(expr, Var):
+            cost = self.target.variable_cost * 0.5
+            return point[expr.name], cost, cost
+        if isinstance(expr, Num):
+            cost = self._literal_cost(ty)
+            return round_literal(expr.value, ty), cost, cost
+        if isinstance(expr, Const):
+            value = {"PI": math.pi, "E": math.e, "INFINITY": math.inf}.get(
+                expr.name, math.nan
+            )
+            cost = self._literal_cost(ty)
+            return value, cost, cost
+        assert isinstance(expr, App)
+        if expr.op == "if":
+            return self._eval_if(expr, point, ty, index)
+        compare = _COMPARISONS.get(expr.op)
+        if compare is not None:
+            lv, ls, lp = self._eval(expr.args[0], point, ty, index)
+            rv, rs, rp = self._eval(expr.args[1], point, ty, index)
+            if_cost = self.target.if_cost
+            return float(compare(lv, rv)), ls + rs + if_cost, max(lp, rp) + if_cost
+        if expr.op in ("and", "or", "not"):
+            cost_sum, cost_path = 0.0, 0.0
+            values = []
+            for arg in expr.args:
+                v, s, p = self._eval(arg, point, ty, index)
+                values.append(bool(v))
+                cost_sum += s
+                cost_path = max(cost_path, p)
+            if expr.op == "and":
+                result = all(values)
+            elif expr.op == "or":
+                result = any(values)
+            else:
+                result = not values[0]
+            return float(result), cost_sum + 1.0, cost_path + 1.0
+        spec = self._impls.get(expr.op)
+        if spec is None:
+            raise KeyError(f"target {self.target.name} lacks operator {expr.op!r}")
+        args = []
+        cost_sum, cost_path = 0.0, 0.0
+        for arg, arg_ty in zip(expr.args, spec.arg_types):
+            value, arg_sum, arg_path = self._eval(arg, point, arg_ty, index)
+            args.append(value)
+            cost_sum += arg_sum
+            cost_path = max(cost_path, arg_path)
+        op_cost = self._op_cost(expr.op, tuple(args), index)
+        return spec.impl(*args), cost_sum + op_cost, cost_path + op_cost
+
+    def _eval_if(self, expr, point, ty, index) -> tuple[float, float, float]:
+        cond, then_branch, else_branch = expr.args
+        cond_value, cond_sum, cond_path = self._eval(cond, point, ty, index)
+        taken = bool(cond_value)
+        if_cost = self.target.if_cost
+        if self.target.if_style == VECTOR:
+            # Masked execution: both branches run, plus a blend.
+            tv, ts, tp = self._eval(then_branch, point, ty, index)
+            ev, es, ep = self._eval(else_branch, point, ty, index)
+            return (
+                tv if taken else ev,
+                cond_sum + ts + es + if_cost,
+                max(cond_path, tp, ep) + if_cost,
+            )
+        branch = then_branch if taken else else_branch
+        value, branch_sum, branch_path = self._eval(branch, point, ty, index)
+        return (
+            value,
+            cond_sum + branch_sum + if_cost,
+            cond_path + branch_path + if_cost,
+        )
+
+    def _literal_cost(self, ty: str) -> float:
+        return self.target.literal_costs.get(ty, 1.0) * 0.5
+
+    def _op_cost(self, op_name: str, args: tuple, index: int) -> float:
+        op = self.target.operator(op_name)
+        latency = op.true_latency + self.target.perf_overhead
+        # Denormal operands stall hardware multiplier/divider pipelines.
+        if self.target.perf_overhead < 5.0 and any(
+            _is_denormal(a) for a in args if isinstance(a, float)
+        ):
+            if any(tag in op_name for tag in _MULDIV_OPS):
+                latency *= _DENORMAL_PENALTY
+        # CPython raises (and the interpreter catches) ZeroDivisionError.
+        if (
+            self.target.perf_overhead >= 30.0
+            and op_name.startswith("div")
+            and len(args) == 2
+            and args[1] == 0.0
+        ):
+            latency += _EXCEPTION_COST
+        return latency * _jitter((self.target.name, op_name, index))

@@ -1,0 +1,19 @@
+"""Rival-style interval arithmetic: correctly-rounded real evaluation."""
+
+from .eval import (
+    DEFAULT_PRECISIONS,
+    PrecisionExhausted,
+    RivalEvaluator,
+    round_to_format,
+)
+from .interval import INTERVAL_OPS, DomainError, Interval
+
+__all__ = [
+    "Interval",
+    "DomainError",
+    "INTERVAL_OPS",
+    "RivalEvaluator",
+    "PrecisionExhausted",
+    "round_to_format",
+    "DEFAULT_PRECISIONS",
+]

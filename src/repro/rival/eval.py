@@ -1,0 +1,212 @@
+"""Adaptive-precision correctly-rounded evaluation (the Rival contract).
+
+Given a real expression and an exact input point, compute the *correctly
+rounded* result in a target float format: evaluate with interval arithmetic
+at escalating working precision until the enclosure rounds to a single
+floating-point value, exactly as Herbie/Chassis use the Rival library
+(paper section 3.1).
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import mpmath
+from mpmath import mp, mpf
+
+from ..ir.expr import App, Const, Expr, Num, Var
+from ..ir.types import F32, F64, TYPE_PRECISION
+from .interval import INTERVAL_OPS, DomainError, Interval
+
+#: Working precisions tried in order (bits of significand).
+DEFAULT_PRECISIONS = (80, 160, 320, 640, 1280)
+
+
+class PrecisionExhausted(ArithmeticError):
+    """The enclosure failed to converge at the highest working precision."""
+
+
+def round_to_format(value: mpf, ty: str) -> float:
+    """Round an mpf correctly into float format ``ty`` (returned as Python float).
+
+    binary32 results are representable exactly in a Python float, so the
+    return type is float for both formats.
+    """
+    if mpmath.isnan(value):
+        return math.nan
+    prec = TYPE_PRECISION[ty]
+    with mp.workprec(prec):
+        rounded = +value  # unary plus re-rounds to the context precision
+    result = float(rounded)
+    if ty == F32:
+        result = _clamp_f32(result)
+    else:
+        result = _clamp_f64(result)
+    return result
+
+
+def _clamp_f64(x: float) -> float:
+    return x  # float() already applied binary64 overflow/denormal semantics
+
+
+def _clamp_f32(x: float) -> float:
+    import numpy as np
+
+    return float(np.float32(x))
+
+
+def _interval_of_leaf(expr: Expr, point: dict[str, float]) -> Interval:
+    if isinstance(expr, Var):
+        try:
+            return Interval.point(point[expr.name])
+        except KeyError:
+            raise KeyError(f"no value for variable {expr.name!r}") from None
+    if isinstance(expr, Num):
+        value = expr.value
+        if value.denominator == 1:
+            return Interval.point(value)
+        num = Interval.point(Fraction(value.numerator))
+        den = Interval.point(Fraction(value.denominator))
+        return INTERVAL_OPS["/"](num, den)
+    if isinstance(expr, Const):
+        if expr.name == "PI":
+            pi = mpmath.pi()
+            return Interval(pi * (1 - mpf(2) ** (2 - mp.prec)), pi * (1 + mpf(2) ** (2 - mp.prec)))
+        if expr.name == "E":
+            e = mpmath.e()
+            return Interval(e * (1 - mpf(2) ** (2 - mp.prec)), e * (1 + mpf(2) ** (2 - mp.prec)))
+        if expr.name == "INFINITY":
+            return Interval.point(mpf("inf"))
+        if expr.name == "NAN":
+            return Interval.error()
+        raise DomainError(f"constant {expr.name} is not a real value")
+    raise TypeError(f"not a leaf: {expr!r}")
+
+
+class Ambiguous(Exception):
+    """A boolean condition could not be decided at this precision."""
+
+
+def _eval_interval(expr: Expr, point: dict[str, float]) -> Interval:
+    """One interval-arithmetic pass at the current working precision."""
+    if isinstance(expr, App):
+        if expr.op == "if":
+            cond = _eval_bool(expr.args[0], point)
+            return _eval_interval(expr.args[1 if cond else 2], point)
+        fn = INTERVAL_OPS.get(expr.op)
+        if fn is None:
+            raise KeyError(f"no interval semantics for operator {expr.op!r}")
+        args = [_eval_interval(a, point) for a in expr.args]
+        return fn(*args)
+    return _interval_of_leaf(expr, point)
+
+
+def _eval_bool(expr: Expr, point: dict[str, float]) -> bool:
+    """Decide a comparison/boolean expression exactly, or raise Ambiguous."""
+    if isinstance(expr, Const):
+        if expr.name == "TRUE":
+            return True
+        if expr.name == "FALSE":
+            return False
+    if not isinstance(expr, App):
+        raise TypeError(f"not a boolean expression: {expr!r}")
+    op = expr.op
+    if op == "and":
+        return _eval_bool(expr.args[0], point) and _eval_bool(expr.args[1], point)
+    if op == "or":
+        return _eval_bool(expr.args[0], point) or _eval_bool(expr.args[1], point)
+    if op == "not":
+        return not _eval_bool(expr.args[0], point)
+    left = _eval_interval(expr.args[0], point)
+    right = _eval_interval(expr.args[1], point)
+    if left.err or right.err:
+        raise DomainError(f"domain error inside condition {op}")
+    if op == "<":
+        if left.hi < right.lo:
+            return True
+        if left.lo >= right.hi:
+            return False
+    elif op == "<=":
+        if left.hi <= right.lo:
+            return True
+        if left.lo > right.hi:
+            return False
+    elif op == ">":
+        if left.lo > right.hi:
+            return True
+        if left.hi <= right.lo:
+            return False
+    elif op == ">=":
+        if left.lo >= right.hi:
+            return True
+        if left.hi < right.lo:
+            return False
+    elif op == "==":
+        if left.is_point() and right.is_point() and left.lo == right.lo:
+            return True
+        if left.hi < right.lo or right.hi < left.lo:
+            return False
+    elif op == "!=":
+        if left.hi < right.lo or right.hi < left.lo:
+            return True
+        if left.is_point() and right.is_point() and left.lo == right.lo:
+            return False
+    else:
+        raise KeyError(f"unknown predicate {op!r}")
+    raise Ambiguous(op)
+
+
+class RivalEvaluator:
+    """Correctly-rounded evaluation of real expressions at exact points."""
+
+    def __init__(self, precisions: tuple[int, ...] = DEFAULT_PRECISIONS):
+        self.precisions = precisions
+
+    def eval(self, expr: Expr, point: dict[str, float], ty: str = F64) -> float:
+        """The correctly rounded value of ``expr`` at ``point`` in format ``ty``.
+
+        Raises :class:`DomainError` when the expression is undefined at the
+        point, and :class:`PrecisionExhausted` when the enclosure will not
+        converge (e.g. comparing identical quantities for equality).
+        """
+        last_issue = "did not converge"
+        for prec in self.precisions:
+            with mp.workprec(prec):
+                try:
+                    result = _eval_interval(expr, point)
+                except Ambiguous:
+                    last_issue = "ambiguous condition"
+                    continue
+                except DomainError:
+                    raise
+                if result.err:
+                    last_issue = "possible domain error"
+                    continue
+                lo = round_to_format(result.lo, ty)
+                hi = round_to_format(result.hi, ty)
+                if lo == hi:
+                    return lo
+                if math.isinf(lo) and math.isinf(hi) and lo == hi:
+                    return lo
+        if last_issue == "possible domain error":
+            raise DomainError("domain error persisted at maximum precision")
+        raise PrecisionExhausted(last_issue)
+
+    def eval_bool(self, expr: Expr, point: dict[str, float]) -> bool:
+        """Decide a boolean expression (e.g. an FPCore precondition)."""
+        for prec in self.precisions:
+            with mp.workprec(prec):
+                try:
+                    return _eval_bool(expr, point)
+                except Ambiguous:
+                    continue
+        raise PrecisionExhausted("ambiguous condition at maximum precision")
+
+    def defined_at(self, expr: Expr, point: dict[str, float], ty: str = F64) -> bool:
+        """True when the expression has a finite correctly-rounded value."""
+        try:
+            value = self.eval(expr, point, ty)
+        except (DomainError, PrecisionExhausted, KeyError):
+            return False
+        return math.isfinite(value)

@@ -1,0 +1,19 @@
+"""Mathematical rewrite-rule database (Herbie-style, paper section 3.3)."""
+
+from .registry import (
+    opportunity_rules,
+    all_rules,
+    rule_named,
+    rules_by_tag,
+    rules_for_operators,
+    simplify_rules,
+)
+
+__all__ = [
+    "all_rules",
+    "opportunity_rules",
+    "simplify_rules",
+    "rules_by_tag",
+    "rule_named",
+    "rules_for_operators",
+]

@@ -1,0 +1,75 @@
+"""Core arithmetic identities: commutativity, associativity, distribution.
+
+These mirror the heart of Herbie's rule database (paper section 3.3).  Rules
+tagged ``simplify`` never grow the AST and form the rule subset used by the
+cost-opportunity analysis (paper figure 5).
+"""
+
+from __future__ import annotations
+
+from ..egraph.rewrite import Rewrite, birw, rw
+
+RULES: list[Rewrite] = [
+    # Commutativity
+    rw("+-commutative", "(+ a b)", "(+ b a)", tags=["simplify", "sound"]),
+    rw("*-commutative", "(* a b)", "(* b a)", tags=["simplify", "sound"]),
+    # Associativity (both directions; same size, so both simplify-safe)
+    *birw("associate-+", "(+ (+ a b) c)", "(+ a (+ b c))", tags=["simplify", "sound"]),
+    *birw("associate-*", "(* (* a b) c)", "(* a (* b c))", tags=["simplify", "sound"]),
+    *birw("associate-+-", "(+ (- a b) c)", "(- a (- b c))", tags=["sound"]),
+    *birw("associate--+", "(- (+ a b) c)", "(+ a (- b c))", tags=["sound"]),
+    *birw("associate--", "(- (- a b) c)", "(- a (+ b c))", tags=["sound"]),
+    *birw("associate-*/", "(/ (* a b) c)", "(* a (/ b c))", tags=["sound"]),
+    *birw("associate-/*", "(* (/ a b) c)", "(/ (* a c) b)", tags=["sound"]),
+    *birw("associate-//", "(/ (/ a b) c)", "(/ a (* b c))", tags=["sound"]),
+    # Identity and annihilation
+    rw("+-lft-identity", "(+ 0 a)", "a", tags=["simplify", "sound"]),
+    rw("+-rgt-identity", "(+ a 0)", "a", tags=["simplify", "sound"]),
+    rw("--rgt-identity", "(- a 0)", "a", tags=["simplify", "sound"]),
+    rw("*-lft-identity", "(* 1 a)", "a", tags=["simplify", "sound"]),
+    rw("*-rgt-identity", "(* a 1)", "a", tags=["simplify", "sound"]),
+    rw("/-rgt-identity", "(/ a 1)", "a", tags=["simplify", "sound"]),
+    rw("mul0-lft", "(* 0 a)", "0", tags=["simplify", "sound"]),
+    rw("mul0-rgt", "(* a 0)", "0", tags=["simplify", "sound"]),
+    rw("div0", "(/ 0 a)", "0", tags=["simplify"]),
+    # Cancellation (sound over the reals; /-cancel only away from 0)
+    rw("+-inverses", "(- a a)", "0", tags=["simplify", "sound"]),
+    rw("/-inverses", "(/ a a)", "1", tags=["simplify"]),
+    rw("sub-neg", "(- a b)", "(+ a (neg b))", tags=["sound"]),
+    rw("unsub-neg", "(+ a (neg b))", "(- a b)", tags=["simplify", "sound"]),
+    rw("sub-add-cancel-rgt", "(- (+ a b) b)", "a", tags=["simplify", "sound"]),
+    rw("sub-add-cancel-lft", "(- (+ a b) a)", "b", tags=["simplify", "sound"]),
+    rw("add-sub-cancel", "(+ (- a b) b)", "a", tags=["simplify", "sound"]),
+    rw("mul-div-cancel", "(* (/ a b) b)", "a", tags=["simplify"]),
+    # Negation
+    rw("neg-of-sub", "(neg (- a b))", "(- b a)", tags=["simplify", "sound"]),
+    rw("sub-of-neg", "(- b a)", "(neg (- a b))", tags=["sound"]),
+    rw("double-neg", "(neg (neg a))", "a", tags=["simplify", "sound"]),
+    *birw("neg-as-mul", "(neg a)", "(* -1 a)", tags=["sound"]),
+    rw("neg-as-sub", "(neg a)", "(- 0 a)", tags=["sound", "expose"]),
+    rw("sub0-as-neg", "(- 0 a)", "(neg a)", tags=["sound", "simplify"]),
+    rw("neg-mul-lft", "(neg (* a b))", "(* (neg a) b)", tags=["sound"]),
+    rw("mul-neg-lft", "(* (neg a) b)", "(neg (* a b))", tags=["simplify", "sound"]),
+    rw("neg-sum", "(neg (+ a b))", "(+ (neg a) (neg b))", tags=["sound"]),
+    rw("sum-neg", "(+ (neg a) (neg b))", "(neg (+ a b))", tags=["simplify", "sound"]),
+    # Distribution and factoring
+    *birw(
+        "distribute-lft", "(* a (+ b c))", "(+ (* a b) (* a c))", tags=["sound"]
+    ),
+    *birw(
+        "distribute-rgt", "(* (+ b c) a)", "(+ (* b a) (* c a))", tags=["sound"]
+    ),
+    *birw(
+        "distribute-lft-sub",
+        "(* a (- b c))",
+        "(- (* a b) (* a c))",
+        tags=["sound"],
+    ),
+    rw("factor-sub", "(- (* a b) (* a c))", "(* a (- b c))", tags=["simplify", "sound"]),
+    rw("factor-add", "(+ (* a b) (* a c))", "(* a (+ b c))", tags=["simplify", "sound"]),
+    # Doubling
+    *birw("count-2", "(+ a a)", "(* 2 a)", tags=["sound"]),
+    rw("double-half", "(* 2 (* a (/ 1 2)))", "a", tags=["simplify", "sound"]),
+    # Multiplication by self
+    *birw("mul-same", "(* a a)", "(pow a 2)", tags=["sound"]),
+]

@@ -1,0 +1,63 @@
+"""Exponential and power identities."""
+
+from __future__ import annotations
+
+from ..egraph.rewrite import Rewrite, birw, rw
+
+RULES: list[Rewrite] = [
+    rw("exp-of-0", "(exp 0)", "1", tags=["simplify", "sound"]),
+    rw("exp-of-1", "(exp 1)", "E", tags=["simplify", "sound"]),
+    rw("1-as-exp0", "1", "(exp 0)", tags=["sound"]),
+    *birw("exp-sum", "(exp (+ a b))", "(* (exp a) (exp b))", tags=["sound"]),
+    *birw("exp-diff", "(exp (- a b))", "(/ (exp a) (exp b))", tags=["sound"]),
+    *birw("exp-neg", "(exp (neg a))", "(/ 1 (exp a))", tags=["sound"]),
+    *birw("exp-prod", "(exp (* a b))", "(pow (exp a) b)", tags=["sound"]),
+    rw("exp-of-log", "(exp (log a))", "a", tags=["simplify"]),
+    *birw("exp-2x", "(exp (* 2 a))", "(* (exp a) (exp a))", tags=["sound"]),
+    # expm1 relations (the accuracy-critical helper)
+    *birw("expm1-def", "(expm1 a)", "(- (exp a) 1)", tags=["sound"]),
+    *birw(
+        "expm1-udef",
+        "(- (exp a) (exp b))",
+        "(* (exp b) (expm1 (- a b)))",
+        tags=["sound"],
+    ),
+    # Log-sum-exp and sigmoid regroupings
+    *birw(
+        "logsumexp-shift",
+        "(log (+ (exp a) (exp b)))",
+        "(+ a (log1p (exp (- b a))))",
+        tags=["sound"],
+    ),
+    *birw(
+        "softplus-shift",
+        "(log (+ 1 (exp a)))",
+        "(+ a (log1p (exp (neg a))))",
+        tags=["sound"],
+    ),
+    *birw(
+        "sigmoid-flip",
+        "(/ 1 (+ 1 (exp (neg a))))",
+        "(/ (exp a) (+ 1 (exp a)))",
+        tags=["sound"],
+    ),
+    # exp2
+    *birw("exp2-def", "(exp2 a)", "(pow 2 a)", tags=["sound"]),
+    # pow laws (principal branch: sound for positive bases)
+    *birw(
+        "pow-prod-down",
+        "(* (pow a b) (pow a c))",
+        "(pow a (+ b c))",
+        tags=["sound-pos"],
+    ),
+    *birw(
+        "pow-prod-up",
+        "(* (pow a c) (pow b c))",
+        "(pow (* a b) c)",
+        tags=["sound-pos"],
+    ),
+    *birw("pow-flip", "(/ 1 (pow a b))", "(pow a (neg b))", tags=["sound-pos"]),
+    *birw("pow-pow", "(pow (pow a b) c)", "(pow a (* b c))", tags=["sound-pos"]),
+    *birw("pow-exp-log", "(pow a b)", "(exp (* b (log a)))", tags=["sound-pos"]),
+    rw("pow-base-1", "(pow 1 a)", "1", tags=["simplify", "sound"]),
+]

@@ -1,0 +1,59 @@
+"""Identities on fractions and reciprocals.
+
+The reciprocal rules are load-bearing for targets with fast reciprocal
+instructions: ``(/ a b) => (* a (/ 1 b))`` exposes ``1/b``, which AVX's
+``rcp.f32`` desugaring can then implement (paper sections 2, 4.1).
+"""
+
+from __future__ import annotations
+
+from ..egraph.rewrite import Rewrite, birw, rw
+
+RULES: list[Rewrite] = [
+    rw("div-as-mul-rcp", "(/ a b)", "(* a (/ 1 b))", tags=["sound", "expose"]),
+    rw("mul-rcp-as-div", "(* a (/ 1 b))", "(/ a b)", tags=["sound", "simplify"]),
+    rw("rcp-of-rcp", "(/ 1 (/ 1 a))", "a", tags=["simplify", "sound"]),
+    rw("rcp-of-div", "(/ 1 (/ a b))", "(/ b a)", tags=["simplify", "sound"]),
+    *birw("div-of-rcps", "(/ (/ 1 a) (/ 1 b))", "(/ b a)", tags=["sound"]),
+    # Fraction arithmetic
+    *birw(
+        "frac-add",
+        "(+ (/ a b) (/ c d))",
+        "(/ (+ (* a d) (* b c)) (* b d))",
+        tags=["sound"],
+    ),
+    *birw(
+        "frac-sub",
+        "(- (/ a b) (/ c d))",
+        "(/ (- (* a d) (* b c)) (* b d))",
+        tags=["sound"],
+    ),
+    *birw("frac-times", "(* (/ a b) (/ c d))", "(/ (* a c) (* b d))", tags=["sound"]),
+    *birw("frac-2neg", "(/ a b)", "(/ (neg a) (neg b))", tags=["sound"]),
+    rw("div-flip-neg", "(neg (/ a b))", "(/ (neg a) b)", tags=["sound"]),
+    # Common-denominator introductions
+    *birw("frac-same-add", "(+ (/ a c) (/ b c))", "(/ (+ a b) c)", tags=["sound"]),
+    *birw("frac-same-sub", "(- (/ a c) (/ b c))", "(/ (- a b) c)", tags=["sound"]),
+    *birw("div-shift-sub", "(/ (- a b) b)", "(- (/ a b) 1)", tags=["sound"]),
+    *birw("div-shift-add", "(/ (+ a b) b)", "(+ (/ a b) 1)", tags=["sound"]),
+    # Compound fraction flattening
+    rw("div-div-lft", "(/ (/ a b) c)", "(/ a (* b c))", tags=["simplify", "sound"]),
+    rw("div-div-rgt", "(/ a (/ b c))", "(/ (* a c) b)", tags=["simplify", "sound"]),
+    # Cancel a common factor (away from zero)
+    rw("cancel-common-lft", "(/ (* a b) (* a c))", "(/ b c)", tags=["simplify"]),
+    rw("cancel-common-rgt", "(/ (* b a) (* c a))", "(/ b c)", tags=["simplify"]),
+    rw("div-by-mul-self", "(/ (* a b) b)", "a", tags=["simplify"]),
+    # Harmonic-style regroupings
+    *birw(
+        "sum-of-rcps",
+        "(+ (/ 1 a) (/ 1 b))",
+        "(/ (+ a b) (* a b))",
+        tags=["sound"],
+    ),
+    *birw(
+        "diff-of-rcps",
+        "(- (/ 1 a) (/ 1 b))",
+        "(/ (- b a) (* a b))",
+        tags=["sound"],
+    ),
+]

@@ -1,0 +1,91 @@
+"""Hyperbolic-function identities, including inverse-hyperbolic expansions."""
+
+from __future__ import annotations
+
+from ..egraph.rewrite import Rewrite, birw, rw
+
+RULES: list[Rewrite] = [
+    *birw(
+        "sinh-def",
+        "(sinh a)",
+        "(/ (- (exp a) (exp (neg a))) 2)",
+        tags=["sound"],
+    ),
+    *birw(
+        "cosh-def",
+        "(cosh a)",
+        "(/ (+ (exp a) (exp (neg a))) 2)",
+        tags=["sound"],
+    ),
+    *birw("tanh-def", "(tanh a)", "(/ (sinh a) (cosh a))", tags=["sound"]),
+    rw("sinh-neg", "(sinh (neg a))", "(neg (sinh a))", tags=["sound"]),
+    rw("cosh-neg", "(cosh (neg a))", "(cosh a)", tags=["simplify", "sound"]),
+    rw(
+        "cosh2-sinh2",
+        "(- (* (cosh a) (cosh a)) (* (sinh a) (sinh a)))",
+        "1",
+        tags=["sound"],
+    ),
+    *birw(
+        "sinh-expm1",
+        "(sinh a)",
+        "(/ (* (expm1 a) (+ (expm1 a) 2)) (* 2 (+ (expm1 a) 1)))",
+        tags=["sound"],
+    ),
+    # Inverse hyperbolics in terms of logs
+    *birw(
+        "asinh-def",
+        "(asinh a)",
+        "(log (+ a (sqrt (+ (* a a) 1))))",
+        tags=["sound"],
+    ),
+    *birw(
+        "acosh-def",
+        "(acosh a)",
+        "(log (+ a (sqrt (- (* a a) 1))))",
+        tags=["sound-domain"],
+    ),
+    *birw(
+        "atanh-def",
+        "(atanh a)",
+        "(* 1/2 (log (/ (+ 1 a) (- 1 a))))",
+        tags=["sound-domain"],
+    ),
+    *birw(
+        "atanh-log1p",
+        "(atanh a)",
+        "(* 1/2 (- (log1p a) (log1p (neg a))))",
+        tags=["sound-domain"],
+    ),
+    *birw(
+        "tanh-expm1",
+        "(tanh a)",
+        "(/ (expm1 (* 2 a)) (+ (expm1 (* 2 a)) 2))",
+        tags=["sound"],
+    ),
+    *birw(
+        "sinh-2a",
+        "(sinh (* 2 a))",
+        "(* 2 (* (sinh a) (cosh a)))",
+        tags=["sound"],
+    ),
+    *birw(
+        "cosh-2a",
+        "(cosh (* 2 a))",
+        "(- (* 2 (* (cosh a) (cosh a))) 1)",
+        tags=["sound"],
+    ),
+    # Sum formulas
+    *birw(
+        "sinh-sum",
+        "(sinh (+ a b))",
+        "(+ (* (sinh a) (cosh b)) (* (cosh a) (sinh b)))",
+        tags=["sound"],
+    ),
+    *birw(
+        "cosh-sum",
+        "(cosh (+ a b))",
+        "(+ (* (cosh a) (cosh b)) (* (sinh a) (sinh b)))",
+        tags=["sound"],
+    ),
+]

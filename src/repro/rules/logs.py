@@ -1,0 +1,47 @@
+"""Logarithm identities, including the log1p helper relations.
+
+The ``log1p`` rules are central to the paper's inverse-hyperbolic-cotangent
+case study (section 6.4): ``0.5*log((1+x)/(1-x))`` rewrites through
+``log(1+x) - log(1-x)`` to ``log1p(x) - log1p(-x)``, and from there the
+fdlibm target's ``log1pmd`` operator desugaring can fire.
+"""
+
+from __future__ import annotations
+
+from ..egraph.rewrite import Rewrite, birw, rw
+
+RULES: list[Rewrite] = [
+    rw("log-of-1", "(log 1)", "0", tags=["simplify", "sound"]),
+    rw("log-of-E", "(log E)", "1", tags=["simplify", "sound"]),
+    rw("log-of-exp", "(log (exp a))", "a", tags=["simplify", "sound"]),
+    *birw("log-prod", "(log (* a b))", "(+ (log a) (log b))", tags=["sound-pos"]),
+    *birw("log-div", "(log (/ a b))", "(- (log a) (log b))", tags=["sound-pos"]),
+    *birw("log-rcp", "(log (/ 1 a))", "(neg (log a))", tags=["sound-pos"]),
+    *birw("log-pow", "(log (pow a b))", "(* b (log a))", tags=["sound-pos"]),
+    *birw("log-sqrt", "(log (sqrt a))", "(* 1/2 (log a))", tags=["sound-pos"]),
+    # log1p relations
+    *birw("log1p-def", "(log1p a)", "(log (+ 1 a))", tags=["sound"]),
+    *birw("log1p-neg", "(log1p (neg a))", "(log (- 1 a))", tags=["sound"]),
+    *birw(
+        "log1p-expm1",
+        "(log1p (expm1 a))",
+        "a",
+        tags=["sound"],
+    ),
+    *birw(
+        "expm1-log1p",
+        "(expm1 (log1p a))",
+        "a",
+        tags=["sound"],
+    ),
+    # log base changes
+    *birw("log2-def", "(log2 a)", "(/ (log a) (log 2))", tags=["sound-pos"]),
+    *birw("log10-def", "(log10 a)", "(/ (log a) (log 10))", tags=["sound-pos"]),
+    # Sum/difference of logs of shifted arguments — the acoth shape.
+    *birw(
+        "log-shift-diff",
+        "(- (log (+ 1 a)) (log (- 1 a)))",
+        "(- (log1p a) (log1p (neg a)))",
+        tags=["sound"],
+    ),
+]

@@ -1,0 +1,70 @@
+"""Polynomial identities: squares, cubes, difference-of-squares tricks.
+
+The flip rules (``a - b => (a^2 - b^2)/(a + b)``) are the classic
+catastrophic-cancellation repairs from Herbie's motivating examples, e.g.
+``sqrt(x+1) - sqrt(x) => 1/(sqrt(x+1) + sqrt(x))``.
+"""
+
+from __future__ import annotations
+
+from ..egraph.rewrite import Rewrite, birw, rw
+
+RULES: list[Rewrite] = [
+    # Square of sum/difference
+    *birw(
+        "square-sum",
+        "(* (+ a b) (+ a b))",
+        "(+ (+ (* a a) (* 2 (* a b))) (* b b))",
+        tags=["sound"],
+    ),
+    *birw(
+        "square-diff",
+        "(* (- a b) (- a b))",
+        "(+ (- (* a a) (* 2 (* a b))) (* b b))",
+        tags=["sound"],
+    ),
+    # Difference of squares and the cancellation "flips"
+    *birw(
+        "difference-of-squares",
+        "(- (* a a) (* b b))",
+        "(* (+ a b) (- a b))",
+        tags=["sound"],
+    ),
+    rw(
+        "flip-+",
+        "(+ a b)",
+        "(/ (- (* a a) (* b b)) (- a b))",
+        tags=["sound-away-from-singularity"],
+    ),
+    rw(
+        "flip--",
+        "(- a b)",
+        "(/ (- (* a a) (* b b)) (+ a b))",
+        tags=["sound-away-from-singularity"],
+    ),
+    # Cubes
+    *birw(
+        "difference-of-cubes",
+        "(- (* (* a a) a) (* (* b b) b))",
+        "(* (+ (+ (* a a) (* b b)) (* a b)) (- a b))",
+        tags=["sound"],
+    ),
+    rw(
+        "flip3--",
+        "(- a b)",
+        "(/ (- (* (* a a) a) (* (* b b) b)) (+ (+ (* a a) (* b b)) (* a b)))",
+        tags=["sound-away-from-singularity"],
+    ),
+    # Binomial expansion helpers
+    *birw(
+        "pow2-of-sum",
+        "(pow (+ a b) 2)",
+        "(+ (+ (pow a 2) (* 2 (* a b))) (pow b 2))",
+        tags=["sound"],
+    ),
+    rw("pow-1", "(pow a 1)", "a", tags=["simplify", "sound"]),
+    rw("pow-0", "(pow a 0)", "1", tags=["simplify"]),
+    rw("unpow2", "(pow a 2)", "(* a a)", tags=["simplify", "sound"]),
+    rw("unpow3", "(pow a 3)", "(* (* a a) a)", tags=["sound"]),
+    rw("pow-neg1", "(pow a -1)", "(/ 1 a)", tags=["simplify", "sound"]),
+]

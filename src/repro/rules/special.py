@@ -1,0 +1,52 @@
+"""Identities for fabs/min/max and the fused-multiply-add shape.
+
+``fma-def`` style rules are *not* written here: fused multiply-add is a
+target operator (``fma.f64`` etc.) whose desugaring ``a*b + c`` is supplied
+by the target description; the e-graph connects it automatically.  What this
+module provides are the real-side regroupings that expose ``a*b + c`` shapes
+for those desugarings to bite on.
+"""
+
+from __future__ import annotations
+
+from ..egraph.rewrite import Rewrite, birw, rw
+
+RULES: list[Rewrite] = [
+    rw("fabs-fabs", "(fabs (fabs a))", "(fabs a)", tags=["simplify", "sound"]),
+    rw("fabs-neg", "(fabs (neg a))", "(fabs a)", tags=["simplify", "sound"]),
+    rw("fabs-sqr", "(fabs (* a a))", "(* a a)", tags=["simplify", "sound"]),
+    rw("fabs-mul", "(fabs (* a b))", "(* (fabs a) (fabs b))", tags=["sound"]),
+    rw("fabs-div", "(fabs (/ a b))", "(/ (fabs a) (fabs b))", tags=["sound"]),
+    *birw("sqr-as-fabs", "(* a a)", "(* (fabs a) (fabs a))", tags=["sound"]),
+    rw("fmin-same", "(fmin a a)", "a", tags=["simplify", "sound"]),
+    rw("fmax-same", "(fmax a a)", "a", tags=["simplify", "sound"]),
+    *birw("fmin-fmax", "(fmin a b)", "(neg (fmax (neg a) (neg b)))", tags=["sound"]),
+    # Multiply-add shape exposure: reassociate sums of products so that a
+    # product ends up directly under the sum (where an fma can fire).
+    rw(
+        "fma-expose-1",
+        "(+ (* a b) (+ c d))",
+        "(+ (+ (* a b) c) d)",
+        tags=["sound"],
+    ),
+    rw(
+        "fma-expose-2",
+        "(- (* a b) (* c d))",
+        "(+ (* a b) (neg (* c d)))",
+        tags=["sound"],
+    ),
+    rw(
+        "fma-neg-shape",
+        "(- c (* a b))",
+        "(+ (neg (* a b)) c)",
+        tags=["sound"],
+    ),
+    rw(
+        "fms-shape",
+        "(- (* a b) c)",
+        "(+ (* a b) (neg c))",
+        tags=["sound"],
+    ),
+    # copysign basics
+    rw("copysign-pos", "(copysign (fabs a) 1)", "(fabs a)", tags=["sound"]),
+]

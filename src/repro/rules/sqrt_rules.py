@@ -1,0 +1,66 @@
+"""Square-root and cube-root identities."""
+
+from __future__ import annotations
+
+from ..egraph.rewrite import Rewrite, birw, rw
+
+RULES: list[Rewrite] = [
+    rw("rem-square-sqrt", "(* (sqrt a) (sqrt a))", "a", tags=["simplify", "sound"]),
+    rw("sqrt-of-square", "(sqrt (* a a))", "(fabs a)", tags=["simplify", "sound"]),
+    rw("sqrt-of-pow2", "(sqrt (pow a 2))", "(fabs a)", tags=["simplify", "sound"]),
+    *birw("sqrt-prod", "(sqrt (* a b))", "(* (sqrt a) (sqrt b))", tags=["sound-nonneg"]),
+    *birw("sqrt-div", "(sqrt (/ a b))", "(/ (sqrt a) (sqrt b))", tags=["sound-nonneg"]),
+    rw("sqrt-of-1", "(sqrt 1)", "1", tags=["simplify", "sound"]),
+    rw("sqrt-of-0", "(sqrt 0)", "0", tags=["simplify", "sound"]),
+    *birw("sqrt-as-pow", "(sqrt a)", "(pow a 1/2)", tags=["sound-nonneg"]),
+    # Reciprocal square root (exposes rsqrt accelerators)
+    *birw(
+        "rsqrt-of-rcp",
+        "(sqrt (/ 1 a))",
+        "(/ 1 (sqrt a))",
+        tags=["sound-nonneg", "expose"],
+    ),
+    rw(
+        "rsqrt-of-div",
+        "(/ a (sqrt b))",
+        "(* a (/ 1 (sqrt b)))",
+        tags=["sound-nonneg", "expose"],
+    ),
+    rw(
+        "sqrt-rcp-mul",
+        "(* (sqrt a) (/ 1 (sqrt a)))",
+        "1",
+        tags=["sound-nonneg"],
+    ),
+    # sqrt "flip": a - b with sqrt terms
+    rw(
+        "flip-sqrt--",
+        "(- (sqrt a) (sqrt b))",
+        "(/ (- a b) (+ (sqrt a) (sqrt b)))",
+        tags=["sound-away-from-singularity"],
+    ),
+    rw(
+        "flip-sqrt-+",
+        "(+ (sqrt a) (sqrt b))",
+        "(/ (- a b) (- (sqrt a) (sqrt b)))",
+        tags=["sound-away-from-singularity"],
+    ),
+    *birw("sqrt-sqrt", "(sqrt (sqrt a))", "(pow a 1/4)", tags=["sound-nonneg"]),
+    # Cube roots
+    rw("rem-cube-cbrt", "(* (* (cbrt a) (cbrt a)) (cbrt a))", "a", tags=["sound"]),
+    rw("cbrt-of-cube", "(cbrt (* (* a a) a))", "a", tags=["sound"]),
+    *birw("cbrt-prod", "(cbrt (* a b))", "(* (cbrt a) (cbrt b))", tags=["sound"]),
+    # hypot
+    *birw(
+        "hypot-def",
+        "(hypot a b)",
+        "(sqrt (+ (* a a) (* b b)))",
+        tags=["sound"],
+    ),
+    rw(
+        "hypot-1-x",
+        "(sqrt (+ 1 (* a a)))",
+        "(hypot 1 a)",
+        tags=["sound"],
+    ),
+]

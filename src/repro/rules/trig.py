@@ -1,0 +1,142 @@
+"""Trigonometric identities (a practical subset of Herbie's trig rules)."""
+
+from __future__ import annotations
+
+from ..egraph.rewrite import Rewrite, birw, rw
+
+RULES: list[Rewrite] = [
+    rw("sin-0", "(sin 0)", "0", tags=["simplify", "sound"]),
+    rw("cos-0", "(cos 0)", "1", tags=["simplify", "sound"]),
+    rw("tan-0", "(tan 0)", "0", tags=["simplify", "sound"]),
+    rw("sin-neg", "(sin (neg a))", "(neg (sin a))", tags=["sound"]),
+    rw("neg-sin", "(neg (sin a))", "(sin (neg a))", tags=["simplify", "sound"]),
+    rw("cos-neg", "(cos (neg a))", "(cos a)", tags=["simplify", "sound"]),
+    rw("tan-neg", "(tan (neg a))", "(neg (tan a))", tags=["sound"]),
+    # Pythagorean identity
+    rw(
+        "sin-cos-pyth",
+        "(+ (* (sin a) (sin a)) (* (cos a) (cos a)))",
+        "1",
+        tags=["sound"],
+    ),
+    rw(
+        "1-sub-sin2",
+        "(- 1 (* (sin a) (sin a)))",
+        "(* (cos a) (cos a))",
+        tags=["sound"],
+    ),
+    rw(
+        "1-sub-cos2",
+        "(- 1 (* (cos a) (cos a)))",
+        "(* (sin a) (sin a))",
+        tags=["sound"],
+    ),
+    # Quotient identities
+    *birw("tan-quot", "(tan a)", "(/ (sin a) (cos a))", tags=["sound"]),
+    # Angle addition
+    *birw(
+        "sin-sum",
+        "(sin (+ a b))",
+        "(+ (* (sin a) (cos b)) (* (cos a) (sin b)))",
+        tags=["sound"],
+    ),
+    *birw(
+        "cos-sum",
+        "(cos (+ a b))",
+        "(- (* (cos a) (cos b)) (* (sin a) (sin b)))",
+        tags=["sound"],
+    ),
+    *birw(
+        "sin-diff",
+        "(sin (- a b))",
+        "(- (* (sin a) (cos b)) (* (cos a) (sin b)))",
+        tags=["sound"],
+    ),
+    *birw(
+        "cos-diff",
+        "(cos (- a b))",
+        "(+ (* (cos a) (cos b)) (* (sin a) (sin b)))",
+        tags=["sound"],
+    ),
+    # Double angle
+    *birw("sin-2a", "(sin (* 2 a))", "(* 2 (* (sin a) (cos a)))", tags=["sound"]),
+    *birw(
+        "cos-2a",
+        "(cos (* 2 a))",
+        "(- (* (cos a) (cos a)) (* (sin a) (sin a)))",
+        tags=["sound"],
+    ),
+    # Inverse relations
+    # Sum-to-product and product-to-sum
+    *birw(
+        "sin-sum-to-product",
+        "(+ (sin a) (sin b))",
+        "(* 2 (* (sin (/ (+ a b) 2)) (cos (/ (- a b) 2))))",
+        tags=["sound"],
+    ),
+    *birw(
+        "sin-diff-to-product",
+        "(- (sin a) (sin b))",
+        "(* 2 (* (cos (/ (+ a b) 2)) (sin (/ (- a b) 2))))",
+        tags=["sound"],
+    ),
+    *birw(
+        "cos-sum-to-product",
+        "(+ (cos a) (cos b))",
+        "(* 2 (* (cos (/ (+ a b) 2)) (cos (/ (- a b) 2))))",
+        tags=["sound"],
+    ),
+    *birw(
+        "cos-diff-to-product",
+        "(- (cos a) (cos b))",
+        "(* -2 (* (sin (/ (+ a b) 2)) (sin (/ (- a b) 2))))",
+        tags=["sound"],
+    ),
+    *birw(
+        "sin-times-cos",
+        "(* (sin a) (cos b))",
+        "(* 1/2 (+ (sin (+ a b)) (sin (- a b))))",
+        tags=["sound"],
+    ),
+    *birw(
+        "sin-times-sin",
+        "(* (sin a) (sin b))",
+        "(* 1/2 (- (cos (- a b)) (cos (+ a b))))",
+        tags=["sound"],
+    ),
+    *birw(
+        "cos-times-cos",
+        "(* (cos a) (cos b))",
+        "(* 1/2 (+ (cos (- a b)) (cos (+ a b))))",
+        tags=["sound"],
+    ),
+    # Squared-trig half-angle forms (the haversine/ellipse shapes)
+    *birw(
+        "sqr-sin-halfangle",
+        "(* (sin a) (sin a))",
+        "(/ (- 1 (cos (* 2 a))) 2)",
+        tags=["sound"],
+    ),
+    *birw(
+        "sqr-cos-halfangle",
+        "(* (cos a) (cos a))",
+        "(/ (+ 1 (cos (* 2 a))) 2)",
+        tags=["sound"],
+    ),
+    *birw(
+        "tan-sum",
+        "(tan (+ a b))",
+        "(/ (+ (tan a) (tan b)) (- 1 (* (tan a) (tan b))))",
+        tags=["sound-domain"],
+    ),
+    *birw(
+        "sin-3a",
+        "(sin (* 3 a))",
+        "(- (* 3 (sin a)) (* 4 (* (* (sin a) (sin a)) (sin a))))",
+        tags=["sound"],
+    ),
+    rw("sin-asin", "(sin (asin a))", "a", tags=["simplify"]),
+    rw("cos-acos", "(cos (acos a))", "a", tags=["simplify"]),
+    rw("tan-atan", "(tan (atan a))", "a", tags=["simplify", "sound"]),
+    *birw("atan2-def", "(atan2 a b)", "(atan (/ a b))", tags=["sound-pos"]),
+]

@@ -1,0 +1,25 @@
+"""Target description language and the built-in target library."""
+
+from .autotune import autotune_costs, autotuned
+from .builtin import TARGET_NAMES, all_targets, get_target
+from .dsl import TargetDSLError, parse_target_description
+from .operator import OperatorDef, opdef
+from .synth import mp_eval, synthesize_impl
+from .target import SCALAR, VECTOR, Target
+
+__all__ = [
+    "OperatorDef",
+    "opdef",
+    "Target",
+    "SCALAR",
+    "VECTOR",
+    "get_target",
+    "all_targets",
+    "TARGET_NAMES",
+    "autotuned",
+    "autotune_costs",
+    "synthesize_impl",
+    "mp_eval",
+    "parse_target_description",
+    "TargetDSLError",
+]

@@ -1,0 +1,45 @@
+"""The nine built-in targets evaluated in the paper (figure 6)."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..autotune import autotuned
+from ..target import Target
+from .hardware import make_arith, make_arith_fma, make_avx
+from .languages import make_c99, make_julia, make_python
+from .libraries import make_fdlibm, make_numpy, make_vdt
+
+_FACTORIES = {
+    "arith": (make_arith, True),
+    "arith-fma": (make_arith_fma, True),
+    "avx": (make_avx, False),  # AVX uses Fog's published tables, not auto-tune
+    "c99": (make_c99, True),
+    "python": (make_python, True),
+    "julia": (make_julia, True),
+    "numpy": (make_numpy, True),
+    "vdt": (make_vdt, True),
+    "fdlibm": (make_fdlibm, True),
+}
+
+#: The paper's evaluation order for the nine targets.
+TARGET_NAMES = tuple(_FACTORIES)
+
+
+@lru_cache(maxsize=None)
+def get_target(name: str) -> Target:
+    """Build (and cache) a built-in target, auto-tuning costs when the
+    paper's figure 6 says that target used auto-tuned costs."""
+    try:
+        factory, tune = _FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown target {name!r}; available: {', '.join(TARGET_NAMES)}"
+        ) from None
+    target = factory()
+    return autotuned(target) if tune else target
+
+
+def all_targets() -> list[Target]:
+    """Every built-in target, in the paper's order."""
+    return [get_target(name) for name in TARGET_NAMES]

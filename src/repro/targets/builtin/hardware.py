@@ -1,0 +1,112 @@
+"""Hardware-flavored targets: Arith, Arith+FMA, and AVX (paper figure 6).
+
+* **Arith** — bare arithmetic: + - * / sqrt |x|, binary64, scalar
+  conditionals, auto-tuned costs.  No transcendental functions at all.
+* **Arith+FMA** — Arith plus the fused multiply-add family.
+* **AVX** — the x86 vector extensions: binary32 *and* binary64 arithmetic,
+  all four fma variants, the fast approximate ``rcp``/``rsqrt`` (binary32
+  only), *no negation instruction*, masked (vector-style) conditionals, and
+  costs taken from Fog's instruction tables [20] rather than auto-tuning.
+"""
+
+from __future__ import annotations
+
+from ...fpeval import approx
+from ...ir.types import F32, F64
+from ..operator import opdef
+from ..target import SCALAR, VECTOR, Target
+from .common import cast_ops, direct32, direct64, fma_ops_f32, fma_ops_f64
+
+
+def _arith_operators():
+    return [
+        direct64("+", 4.0),
+        direct64("-", 4.0),
+        direct64("*", 4.0),
+        direct64("/", 13.0),
+        direct64("neg", 1.0),
+        direct64("fabs", 1.0),
+        direct64("sqrt", 16.0),
+    ]
+
+
+def make_arith() -> Target:
+    """The bare-arithmetic hardware target."""
+    return Target(
+        name="arith",
+        operators={op.name: op for op in _arith_operators()},
+        literal_costs={F64: 1.0},
+        variable_cost=1.0,
+        if_style=SCALAR,
+        if_cost=2.0,
+        description="bare arithmetic ISA: + - * / sqrt |x|",
+        cost_source="auto-tune",
+        perf_overhead=0.0,
+        output_format="c",
+    )
+
+
+def make_arith_fma() -> Target:
+    """Arith extended with fused multiply-add."""
+    return make_arith().extend(
+        "arith-fma",
+        add_operators=fma_ops_f64(4.0),
+        description="arith ISA plus fused multiply-add",
+    )
+
+
+#: AVX latencies from Agner Fog's instruction tables (cycles).
+_FOG = {
+    "add": 4.0, "sub": 4.0, "mul": 4.0, "fma": 4.0,
+    "div32": 11.0, "div64": 13.0, "sqrt32": 12.0, "sqrt64": 18.0,
+    "rcp": 4.0, "rsqrt": 4.0, "fabs": 1.0, "minmax": 4.0, "cast": 4.0,
+}
+
+
+def _avx_operators():
+    ops = [
+        # binary64 lane operations (no neg: fold into fnma/sub instead).
+        direct64("+", _FOG["add"], linked=True),
+        direct64("-", _FOG["sub"], linked=True),
+        direct64("*", _FOG["mul"], linked=True),
+        direct64("/", _FOG["div64"], linked=True),
+        direct64("sqrt", _FOG["sqrt64"], linked=True),
+        direct64("fabs", _FOG["fabs"], linked=True),
+        direct64("fmin", _FOG["minmax"], linked=True),
+        direct64("fmax", _FOG["minmax"], linked=True),
+        # binary32 lane operations.
+        direct32("+", _FOG["add"], linked=True),
+        direct32("-", _FOG["sub"], linked=True),
+        direct32("*", _FOG["mul"], linked=True),
+        direct32("/", _FOG["div32"], linked=True),
+        direct32("sqrt", _FOG["sqrt32"], linked=True),
+        direct32("fabs", _FOG["fabs"], linked=True),
+        direct32("fmin", _FOG["minmax"], linked=True),
+        direct32("fmax", _FOG["minmax"], linked=True),
+        # Approximate reciprocal instructions (binary32 only, like rcpps).
+        opdef("rcp.f32", (F32,), F32, "(/ 1 x)", _FOG["rcp"], approx.rcp32, linked=True),
+        opdef(
+            "rsqrt.f32", (F32,), F32, "(/ 1 (sqrt x))",
+            _FOG["rsqrt"], approx.rsqrt32, linked=True,
+        ),
+    ]
+    ops.extend(fma_ops_f64(_FOG["fma"]))
+    ops.extend(fma_ops_f32(_FOG["fma"]))
+    ops.extend(cast_ops(_FOG["cast"]))
+    return ops
+
+
+def make_avx() -> Target:
+    """The AVX vector-extension target (costs from Fog's tables)."""
+    return Target(
+        name="avx",
+        operators={op.name: op for op in _avx_operators()},
+        literal_costs={F32: 1.0, F64: 1.0},
+        variable_cost=1.0,
+        if_style=VECTOR,
+        if_cost=5.0,
+        description="x86 AVX: fma family, rcp/rsqrt, masked conditionals",
+        cost_source="Fog [20]",
+        perf_overhead=0.0,
+        output_format="c",
+    )

@@ -1,0 +1,157 @@
+"""Programming-language targets: C 99, Python, and Julia (paper figure 6).
+
+* **C 99** — ``math.h`` at binary32 and binary64, fma, casts; stark cost
+  divisions between arithmetic and library calls.
+* **Python** — the ``math`` module at binary64 only; large interpreter
+  overhead flattens the cost model (paper 6.3), and there is *no fma*.
+* **Julia** — ``Base`` math plus the extended helper library (``sind``,
+  ``cosd``, ``deg2rad``, ``abs2``, ``sinpi``, ...) whose higher internal
+  precision gives Chassis accuracy options Herbie lacks (paper 6.4).
+"""
+
+from __future__ import annotations
+
+from ...ir.types import F32, F64
+from ..operator import opdef
+from ..target import SCALAR, Target
+from .common import LIBM_LATENCIES, cast_ops, direct32, direct64, fma_ops_f64, libm_ops_f64
+
+
+def _c99_operators():
+    ops = [
+        direct64("+", 4.0, linked=True),
+        direct64("-", 4.0, linked=True),
+        direct64("*", 4.0, linked=True),
+        direct64("/", 13.0, linked=True),
+        direct64("neg", 1.0, linked=True),
+        direct64("fabs", 1.0, linked=True),
+        direct64("sqrt", 18.0, linked=True),
+        direct64("fmin", 4.0, linked=True),
+        direct64("fmax", 4.0, linked=True),
+        direct32("+", 4.0, linked=True),
+        direct32("-", 4.0, linked=True),
+        direct32("*", 4.0, linked=True),
+        direct32("/", 11.0, linked=True),
+        direct32("neg", 1.0, linked=True),
+        direct32("fabs", 1.0, linked=True),
+        direct32("sqrt", 12.0, linked=True),
+    ]
+    ops.extend(fma_ops_f64(5.0))
+    ops.extend(cast_ops(2.0))
+    ops.extend(libm_ops_f64())
+    # Single-precision libm (sinf, expf, ...) runs ~20% faster.
+    for name, latency in LIBM_LATENCIES.items():
+        ops.append(direct32(name, latency * 0.8, linked=True))
+    return ops
+
+
+def make_c99() -> Target:
+    """The C 99 / math.h target."""
+    return Target(
+        name="c99",
+        operators={op.name: op for op in _c99_operators()},
+        literal_costs={F32: 1.0, F64: 1.0},
+        variable_cost=1.0,
+        if_style=SCALAR,
+        if_cost=2.0,
+        description="C 99 with math.h, binary32 and binary64",
+        cost_source="auto-tune",
+        linkage="L",
+        perf_overhead=0.0,
+        output_format="c",
+    )
+
+
+#: math-module functions Python 3.10 actually provides (no fma!).
+_PYTHON_LIBM = (
+    "exp", "expm1", "log", "log2", "log10", "log1p",
+    "sin", "cos", "tan", "asin", "acos", "atan", "atan2",
+    "sinh", "cosh", "tanh", "asinh", "acosh", "atanh",
+    "pow", "hypot", "fmod", "floor", "ceil", "trunc", "copysign",
+)
+
+
+def _python_operators():
+    ops = [
+        direct64("+", 6.0),
+        direct64("-", 6.0),
+        direct64("*", 6.0),
+        direct64("/", 9.0),
+        direct64("neg", 4.0),
+        direct64("fabs", 5.0),
+        direct64("sqrt", 10.0),
+        direct64("fmin", 8.0),
+        direct64("fmax", 8.0),
+    ]
+    ops.extend(libm_ops_f64(scale=0.6, only=_PYTHON_LIBM))
+    return ops
+
+
+def make_python() -> Target:
+    """The Python 3.10 ``math`` target (binary64, heavy overhead, no fma)."""
+    return Target(
+        name="python",
+        operators={op.name: op for op in _python_operators()},
+        literal_costs={F64: 3.0},
+        variable_cost=3.0,
+        if_style=SCALAR,
+        if_cost=8.0,
+        description="Python 3.10 with the math module",
+        cost_source="auto-tune",
+        linkage="E",
+        perf_overhead=40.0,
+        output_format="python",
+    )
+
+
+def _julia_helper_ops():
+    """Julia Base's accuracy-oriented helper functions (synthesized impls:
+    these helpers compute in higher internal precision, which our
+    correctly-rounded synthesis reproduces)."""
+    return [
+        opdef("sind.f64", (F64,), F64, "(sin (* (/ PI 180) x))", 50.0),
+        opdef("cosd.f64", (F64,), F64, "(cos (* (/ PI 180) x))", 50.0),
+        opdef("tand.f64", (F64,), F64, "(tan (* (/ PI 180) x))", 58.0),
+        opdef("deg2rad.f64", (F64,), F64, "(* (/ PI 180) x)", 6.0),
+        opdef("rad2deg.f64", (F64,), F64, "(* (/ 180 PI) x)", 6.0),
+        opdef("abs2.f64", (F64,), F64, "(* x x)", 5.0),
+        opdef("sinpi.f64", (F64,), F64, "(sin (* PI x))", 48.0),
+        opdef("cospi.f64", (F64,), F64, "(cos (* PI x))", 48.0),
+        opdef("exp10.f64", (F64,), F64, "(pow 10 x)", 42.0),
+    ]
+
+
+def _julia_operators():
+    ops = [
+        direct64("+", 4.0),
+        direct64("-", 4.0),
+        direct64("*", 4.0),
+        direct64("/", 13.0),
+        direct64("neg", 1.5),
+        direct64("fabs", 1.5),
+        direct64("sqrt", 18.0),
+        direct64("fmin", 4.0),
+        direct64("fmax", 4.0),
+        direct64("copysign", 2.0),
+    ]
+    ops.extend(fma_ops_f64(6.0))
+    ops.extend(libm_ops_f64(scale=0.9))
+    ops.extend(_julia_helper_ops())
+    return ops
+
+
+def make_julia() -> Target:
+    """The Julia 1.10 target with its extended math helper library."""
+    return Target(
+        name="julia",
+        operators={op.name: op for op in _julia_operators()},
+        literal_costs={F64: 1.0},
+        variable_cost=1.0,
+        if_style=SCALAR,
+        if_cost=3.0,
+        description="Julia 1.10 Base math with helper functions",
+        cost_source="auto-tune",
+        linkage="E",
+        perf_overhead=8.0,
+        output_format="julia",
+    )

@@ -1,0 +1,139 @@
+"""Software-library targets: NumPy, CERN vdt, and Sun fdlibm (paper fig. 6).
+
+* **NumPy** — vectorized element-wise math: cheap per-element costs,
+  masked (vector-style) conditionals via ``numpy.where``, helper routines
+  like ``logaddexp`` and ``square``; no fma.
+* **vdt** — CERN's fast inline math library: accurate libm operators plus
+  ``fast_*`` variants trading ~8 ulp of accuracy for large speedups, and a
+  two-level approximate reciprocal square root.  The fast variants are
+  *linked* to simulated implementations so Chassis observes their true
+  (reduced) accuracy.
+* **fdlibm** — Sun's reference libm, exposing the internal ``log1pmd``
+  subroutine (``log(1+x) - log(1-x)``) as an operator: the paper's
+  section 6.4 case study.
+"""
+
+from __future__ import annotations
+
+from ...fpeval import approx
+from ...ir.types import F64
+from ..operator import opdef
+from ..target import VECTOR, Target
+from .common import direct64, libm_ops_f64
+from .languages import make_c99
+
+#: NumPy per-element latencies for vectorized ufuncs.
+_NUMPY_LIBM_SCALE = 0.35
+
+
+def _numpy_operators():
+    ops = [
+        direct64("+", 2.0),
+        direct64("-", 2.0),
+        direct64("*", 2.0),
+        direct64("/", 4.0),
+        direct64("neg", 1.5),
+        direct64("fabs", 1.5),
+        direct64("sqrt", 5.0),
+        direct64("fmin", 2.0),
+        direct64("fmax", 2.0),
+        direct64("copysign", 2.0),
+    ]
+    ops.extend(libm_ops_f64(scale=_NUMPY_LIBM_SCALE))
+    ops.extend(
+        [
+            opdef("square.f64", (F64,), F64, "(* x x)", 2.0),
+            opdef("reciprocal.f64", (F64,), F64, "(/ 1 x)", 3.0),
+            opdef(
+                "logaddexp.f64", (F64, F64), F64,
+                "(log (+ (exp x) (exp y)))", 26.0,
+            ),
+            opdef("deg2rad.f64", (F64,), F64, "(* (/ PI 180) x)", 2.5),
+            opdef("rad2deg.f64", (F64,), F64, "(* (/ 180 PI) x)", 2.5),
+        ]
+    )
+    return ops
+
+
+def make_numpy() -> Target:
+    """The NumPy routines.math target (vectorized, masked conditionals)."""
+    return Target(
+        name="numpy",
+        operators={op.name: op for op in _numpy_operators()},
+        literal_costs={F64: 0.5},
+        variable_cost=0.5,
+        if_style=VECTOR,
+        if_cost=3.0,
+        description="NumPy element-wise math (vectorized)",
+        cost_source="auto-tune",
+        linkage="E",
+        perf_overhead=1.5,
+        output_format="python",
+    )
+
+
+def _c99_f64_base(name: str) -> Target:
+    """The binary64 subset of C 99, as an import base for C libraries."""
+    base = make_c99()
+    f32_ops = [
+        op_name
+        for op_name, op in base.operators.items()
+        if op.ret_type != F64 or any(ty != F64 for ty in op.arg_types)
+    ]
+    return base.extend(name, remove_operators=f32_ops, literal_costs={F64: 1.0})
+
+
+def _vdt_fast_ops():
+    """vdt's fast_* operators: linked to reduced-accuracy simulations."""
+    fast = [
+        ("fast_exp.f64", "(exp x)", 14.0, approx.fast_exp64),
+        ("fast_log.f64", "(log x)", 16.0, approx.fast_log64),
+        ("fast_sin.f64", "(sin x)", 18.0, approx.fast_sin64),
+        ("fast_cos.f64", "(cos x)", 18.0, approx.fast_cos64),
+        ("fast_tan.f64", "(tan x)", 22.0, approx.fast_tan64),
+        ("fast_asin.f64", "(asin x)", 20.0, approx.fast_asin64),
+        ("fast_acos.f64", "(acos x)", 20.0, approx.fast_acos64),
+        ("fast_atan.f64", "(atan x)", 22.0, approx.fast_atan64),
+        ("fast_tanh.f64", "(tanh x)", 24.0, approx.fast_tanh64),
+        ("fast_isqrt.f64", "(/ 1 (sqrt x))", 9.0, approx.fast_isqrt64),
+        ("appr_isqrt.f64", "(/ 1 (sqrt x))", 6.0, approx.appr_isqrt64),
+    ]
+    return [
+        opdef(name, (F64,), F64, desugaring, latency, impl, linked=True)
+        for name, desugaring, latency, impl in fast
+    ]
+
+
+def make_vdt() -> Target:
+    """The CERN vdt target: C 99 binary64 plus fast approximate operators."""
+    return _c99_f64_base("vdt").extend(
+        "vdt",
+        add_operators=_vdt_fast_ops(),
+        description="CERN vdt: accurate libm plus fast_* approximations",
+        linkage="L",
+        output_format="c",
+    )
+
+
+def _fdlibm_extra_ops():
+    return [
+        # The library-internal subroutine exposed as an operator: computes
+        # log(1+x) - log(1-x) in one range-reduced pass (paper section 2).
+        opdef("log1pmd.f64", (F64,), F64, "(- (log (+ 1 x)) (log (- 1 x)))", 46.0),
+        # fdlibm's log is built from a log1p-style kernel; both are cheap
+        # relative to calling log twice.
+        opdef("log1p_kernel.f64", (F64,), F64, "(log1p x)", 42.0),
+    ]
+
+
+def make_fdlibm() -> Target:
+    """Sun's fdlibm target, exposing internal logarithm subcomponents."""
+    target = _c99_f64_base("fdlibm").extend(
+        "fdlibm",
+        add_operators=_fdlibm_extra_ops(),
+        override_costs={"log.f64": 42.0, "log1p.f64": 48.0},
+        description="Sun fdlibm with internal log subroutines exposed",
+        linkage="L",
+        output_format="c",
+    )
+    return target

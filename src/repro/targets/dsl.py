@@ -1,0 +1,191 @@
+"""The S-expression target description language (paper figure 3).
+
+Users describe targets in a small DSL::
+
+    (define-operator (rcp.f32 [x binary32]) binary32
+      #:approx (/ 1 x)
+      #:link rcp32
+      #:cost 4.0)
+
+    (define-operator (/.f32 [x binary32] [y binary32]) binary32
+      #:approx (/ x y)
+      #:cost 10.0)
+
+    (define-target avx
+      #:if-cost 5
+      #:if-style vector
+      #:literals ([binary32 1])
+      #:operators (rcp.f32 /.f32))
+
+``#:link`` names a Python callable in the linking registry passed to
+:func:`parse_target_description` (our stand-in for a shared-library symbol).
+Operators without ``#:link`` get synthesized correctly-rounded
+implementations; operators without ``#:cost`` are auto-tuned afterwards via
+:func:`repro.targets.autotune.autotuned`.  ``#:import`` pulls in another
+target's operators, enabling the paper's "libm imports core C" pattern.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from ..ir.expr import Var
+from ..ir.parser import expr_from_sexpr, parse_sexprs
+from ..ir.types import check_float_type
+from .operator import PARAM_NAMES, OperatorDef
+from .target import SCALAR, VECTOR, Target
+
+
+class TargetDSLError(ValueError):
+    """Malformed target description source."""
+
+
+def parse_target_description(
+    source: str,
+    link_registry: Mapping[str, Callable[..., float]] | None = None,
+    import_registry: Mapping[str, Target] | None = None,
+) -> Target:
+    """Parse a target description file; returns the (single) target defined.
+
+    ``link_registry`` resolves ``#:link`` names to Python callables;
+    ``import_registry`` resolves ``#:import`` names to existing targets.
+    """
+    link_registry = link_registry or {}
+    import_registry = import_registry or {}
+    operators: dict[str, OperatorDef] = {}
+    target: Target | None = None
+
+    for form in parse_sexprs(source):
+        if not (isinstance(form, list) and form):
+            raise TargetDSLError(f"expected a definition form, got {form!r}")
+        head = form[0]
+        if head == "define-operator":
+            op = _parse_operator(form, link_registry)
+            operators[op.name] = op
+        elif head == "define-target":
+            if target is not None:
+                raise TargetDSLError("multiple define-target forms")
+            target = _parse_target(form, operators, import_registry)
+        else:
+            raise TargetDSLError(f"unknown form {head!r}")
+    if target is None:
+        raise TargetDSLError("no define-target form found")
+    return target
+
+
+def _keywords(items: list) -> dict[str, object]:
+    """Parse a ``#:key value`` tail into a dict."""
+    out: dict[str, object] = {}
+    i = 0
+    while i < len(items):
+        key = items[i]
+        if not (isinstance(key, str) and key.startswith("#:")):
+            raise TargetDSLError(f"expected #:keyword, got {key!r}")
+        if i + 1 >= len(items):
+            raise TargetDSLError(f"keyword {key} missing a value")
+        out[key[2:]] = items[i + 1]
+        i += 2
+    return out
+
+
+def _parse_operator(form: list, link_registry) -> OperatorDef:
+    if len(form) < 3:
+        raise TargetDSLError("define-operator needs a signature and return type")
+    signature, ret_type = form[1], form[2]
+    if not (isinstance(signature, list) and signature):
+        raise TargetDSLError(f"bad operator signature {signature!r}")
+    name = signature[0]
+    params: list[str] = []
+    arg_types: list[str] = []
+    for arg in signature[1:]:
+        if not (isinstance(arg, list) and len(arg) == 2):
+            raise TargetDSLError(f"bad operator argument {arg!r}")
+        params.append(arg[0])
+        arg_types.append(check_float_type(arg[1]))
+    check_float_type(ret_type)
+
+    options = _keywords(form[3:])
+    if "approx" not in options:
+        raise TargetDSLError(f"operator {name} requires #:approx (its desugaring)")
+    approx = expr_from_sexpr(options["approx"])
+    # Normalize user parameter names to the canonical x/y/z convention.
+    renaming = {user: Var(canon) for user, canon in zip(params, PARAM_NAMES)}
+    approx = approx.substitute(renaming)
+
+    impl = None
+    if "link" in options:
+        link_name = options["link"]
+        if isinstance(link_name, list):
+            link_name = link_name[-1]  # (lib "libavx" rcpps) -> rcpps
+        impl = link_registry.get(str(link_name))
+        if impl is None:
+            raise TargetDSLError(f"operator {name}: no linked symbol {link_name!r}")
+
+    cost = float(options["cost"]) if "cost" in options else 1.0
+    return OperatorDef(
+        name=name,
+        arg_types=tuple(arg_types),
+        ret_type=ret_type,
+        approx=approx,
+        cost=cost,
+        true_latency=cost,
+        impl=impl,
+        linked=impl is not None,
+    )
+
+
+def _parse_target(form: list, operators, import_registry) -> Target:
+    if len(form) < 2 or not isinstance(form[1], str):
+        raise TargetDSLError("define-target needs a name")
+    name = form[1]
+    options = _keywords(form[2:])
+
+    ops: dict[str, OperatorDef] = {}
+    for import_name in _as_list(options.get("import", [])):
+        imported = import_registry.get(str(import_name))
+        if imported is None:
+            raise TargetDSLError(f"unknown import target {import_name!r}")
+        ops.update(imported.operators)
+    for op_name in _as_list(options.get("operators", [])):
+        if op_name not in operators:
+            raise TargetDSLError(f"target {name}: unknown operator {op_name!r}")
+        ops[op_name] = operators[op_name]
+    if not ops:
+        raise TargetDSLError(f"target {name} defines no operators")
+
+    literals: dict[str, float] = {}
+    for entry in _as_list(options.get("literals", [])):
+        if not (isinstance(entry, list) and len(entry) == 2):
+            raise TargetDSLError(f"bad literal cost entry {entry!r}")
+        literals[check_float_type(entry[0])] = float(entry[1])
+    if not literals:
+        literals = {ty: 1.0 for op in ops.values() for ty in (op.ret_type,)}
+
+    if_style = str(options.get("if-style", SCALAR))
+    if if_style not in (SCALAR, VECTOR):
+        raise TargetDSLError(f"bad #:if-style {if_style!r}")
+
+    return Target(
+        name=name,
+        operators=ops,
+        literal_costs=literals,
+        variable_cost=float(options.get("var-cost", 1.0)),
+        if_style=if_style,
+        if_cost=_parse_if_cost(options.get("if-cost", 1.0)),
+        description=str(options.get("description", "")).strip('"'),
+        cost_source="target description",
+    )
+
+
+def _parse_if_cost(value) -> float:
+    # The paper writes "#:if-cost (max 5)" for vector targets; accept both
+    # a bare number and that (max N) form.
+    if isinstance(value, list) and len(value) == 2 and value[0] == "max":
+        return float(value[1])
+    return float(value)
+
+
+def _as_list(value) -> list:
+    if isinstance(value, list):
+        return value
+    return [value]

@@ -1,0 +1,69 @@
+"""Cross-target integration smoke tests: compile on every built-in target.
+
+These are the reproduction's equivalent of the paper's headline claim
+("Chassis can compile to a diverse set of targets", section 6.1): one
+benchmark per operator-capability tier, compiled on all nine targets, with
+the universal invariants checked — well-typed output, Pareto-consistent
+frontier, output at least as accurate as the input.
+"""
+
+import pytest
+
+from repro.accuracy import SampleConfig, sample_core
+from repro.benchsuite import core_named
+from repro.core import CompileConfig, Untranscribable, compile_fpcore
+from repro.cost import TargetCostModel
+from repro.targets import TARGET_NAMES, get_target
+
+FAST = CompileConfig(iterations=1, localize_points=6, max_variants=12)
+SMALL = SampleConfig(n_train=12, n_test=12)
+
+#: One arithmetic-only benchmark (every target can express it).
+ARITH_BENCH = "sqrt-sub"
+#: One transcendental benchmark (hardware targets need polynomials).
+TRANSCENDENTAL_BENCH = "logistic"
+
+
+@pytest.fixture(scope="module")
+def arith_samples():
+    return sample_core(core_named(ARITH_BENCH), SMALL)
+
+
+@pytest.fixture(scope="module")
+def transcendental_samples():
+    return sample_core(core_named(TRANSCENDENTAL_BENCH), SMALL)
+
+
+@pytest.mark.parametrize("target_name", TARGET_NAMES)
+def test_arith_benchmark_on_every_target(target_name, arith_samples):
+    target = get_target(target_name)
+    core = core_named(ARITH_BENCH)
+    result = compile_fpcore(core, target, FAST, samples=arith_samples)
+
+    assert len(result.frontier) >= 1
+    model = TargetCostModel(target)
+    for candidate in result.frontier:
+        assert model.supports_program(candidate.program), candidate
+        assert 0 <= candidate.error <= 64
+        assert candidate.cost > 0
+    assert (
+        result.frontier.best_error().error
+        <= result.input_candidate.error + 1e-9
+    )
+
+
+@pytest.mark.parametrize("target_name", TARGET_NAMES)
+def test_transcendental_benchmark_on_every_target(
+    target_name, transcendental_samples
+):
+    target = get_target(target_name)
+    core = core_named(TRANSCENDENTAL_BENCH)
+    result = compile_fpcore(core, target, FAST, samples=transcendental_samples)
+    assert len(result.frontier) >= 1
+    model = TargetCostModel(target)
+    for candidate in result.frontier:
+        assert model.supports_program(candidate.program)
+    if target_name in ("arith", "arith-fma", "avx"):
+        # No exp instruction: the output must be a polynomial.
+        for candidate in result.frontier:
+            assert "exp" not in str(candidate.program)

@@ -1,0 +1,136 @@
+"""Tests for the Herbie and Clang baselines."""
+
+import math
+
+import pytest
+
+from repro.accuracy import SampleConfig, sample_core
+from repro.baselines import (
+    CONFIGS,
+    compile_all_configs,
+    compile_clang,
+    herbie_frontier_on_target,
+    herbie_ir_target,
+    lower_to_target,
+    run_herbie,
+)
+from repro.core import CompileConfig
+from repro.cost import NaiveCostModel
+from repro.ir import parse_expr, parse_fpcore
+
+FAST = CompileConfig(iterations=1, localize_points=6, max_variants=12)
+
+
+class TestHerbieIRTarget:
+    def test_naive_costs(self):
+        ir = herbie_ir_target()
+        assert ir.operator("add.f64").cost == NaiveCostModel.ARITH_COST
+        assert ir.operator("exp.f64").cost == NaiveCostModel.CALL_COST
+        assert ir.operator("sqrt.f64").cost == NaiveCostModel.CALL_COST
+
+    def test_full_operator_set(self):
+        ir = herbie_ir_target()
+        for op in ("sin.f64", "log1p.f64", "atan2.f64", "hypot.f64"):
+            assert ir.supports(op)
+
+    def test_target_agnostic_flag(self):
+        assert "naive" in herbie_ir_target().cost_source
+
+
+class TestRunHerbie:
+    def test_improves_cancellation(self, sqrt_sub_core, small_samples):
+        from repro.accuracy import score_program
+        from repro.baselines.herbie import herbie_ir_target
+        from repro.core import transcribe
+
+        ir = herbie_ir_target()
+        naive = transcribe(sqrt_sub_core.body, ir)
+        input_error = score_program(
+            naive, ir, small_samples.train, small_samples.train_exact
+        )
+        frontier = run_herbie(sqrt_sub_core, small_samples, FAST)
+        assert len(frontier) >= 1
+        assert frontier.best_error().error < input_error / 2  # repaired
+
+    def test_lower_transcribe_mode(self, c99, sqrt_sub_core, small_samples):
+        frontier = run_herbie(sqrt_sub_core, small_samples, FAST)
+        output = lower_to_target(
+            frontier.best_error().program, sqrt_sub_core, c99, small_samples
+        )
+        assert output is not None
+        assert output.mode == "transcribe"  # C has everything
+
+    def test_lower_discards_on_arith(self, arith, small_samples):
+        core = parse_fpcore(
+            "(FPCore (x) :pre (< 0.1 x 10) (sin x))"
+        )
+        ir = herbie_ir_target()
+        program = parse_expr("(sin.f64 x)", known_ops=set(ir.operators))
+        assert lower_to_target(program, core, arith, small_samples) is None
+
+    def test_herbie_frontier_on_target(self, c99, sqrt_sub_core, small_samples):
+        frontier, stats = herbie_frontier_on_target(
+            sqrt_sub_core, c99, small_samples, FAST
+        )
+        assert len(frontier) >= 1
+        assert stats["transcribe"] + stats["desugar"] + stats["discard"] >= 1
+
+
+class TestClang:
+    def setup_method(self):
+        self.core = parse_fpcore(
+            "(FPCore poly (x) :pre (< -10 x 10)"
+            " (+ (* 2 (* 3 x)) (* x 1)))"
+        )
+
+    def test_twelve_configs(self, c99):
+        outputs = compile_all_configs(self.core, c99)
+        assert len(outputs) == 12
+        assert len(CONFIGS) == 12
+
+    def test_O0_is_identity(self, c99):
+        from repro.core import transcribe
+
+        out = compile_clang(self.core, c99, "-O0")
+        assert out.program == transcribe(self.core.body, c99)
+        assert out.time_factor > 1.5  # no register allocation
+
+    def test_identity_cleanup_at_O2(self, c99):
+        out = compile_clang(self.core, c99, "-O2")
+        # (* x 1) must be gone
+        assert "(mul.f64 x 1)" not in str(out.program).replace("'", "")
+
+    def test_constant_folding(self, c99):
+        core = parse_fpcore("(FPCore (x) (* (+ 1 2) x))")
+        out = compile_clang(core, c99, "-O2")
+        text = str(out.program)
+        assert "Num(3" in text or "3" in text
+        assert "add" not in text  # 1+2 folded away
+
+    def test_fast_math_reduces_cost_not_accuracy_guaranteed(
+        self, c99, sqrt_sub_core, small_samples
+    ):
+        from repro.accuracy import score_program
+        from repro.cost import TargetCostModel
+
+        model = TargetCostModel(c99)
+        precise = compile_clang(sqrt_sub_core, c99, "-O2", fast_math=False)
+        fast = compile_clang(sqrt_sub_core, c99, "-O2", fast_math=True)
+        assert model.program_cost(fast.program) <= model.program_cost(precise.program)
+        # and precise mode preserves the (buggy) float semantics exactly
+        assert precise.program == compile_clang(sqrt_sub_core, c99, "-O3").program
+
+    def test_level_factors_ordered(self):
+        from repro.baselines.clang import LEVEL_FACTORS
+
+        assert LEVEL_FACTORS["-O0"] > LEVEL_FACTORS["-O1"] > LEVEL_FACTORS["-O3"]
+
+    def test_unknown_level_rejected(self, c99):
+        with pytest.raises(ValueError):
+            compile_clang(self.core, c99, "-O9")
+
+    def test_fast_math_output_still_supported(self, c99, sqrt_sub_core):
+        from repro.cost import TargetCostModel
+
+        out = compile_clang(sqrt_sub_core, c99, "-O2", fast_math=True)
+        assert TargetCostModel(c99).supports_program(out.program)

@@ -1,0 +1,131 @@
+"""Tests for the benchmark suite and the experiment harness."""
+
+import math
+
+import pytest
+
+from repro.benchsuite import core_named, curated_suite, generate_core, generate_suite, suite
+from repro.experiments import (
+    JointPoint,
+    geomean,
+    joint_pareto,
+    pareto_filter,
+    speedup_at_matched_accuracy,
+    targets_table,
+)
+from repro.targets import all_targets
+
+
+class TestCorpus:
+    def test_size(self):
+        assert len(curated_suite()) >= 40
+
+    def test_all_named_uniquely(self):
+        names = [c.name for c in curated_suite()]
+        assert all(names)
+        assert len(names) == len(set(names))
+
+    def test_case_studies_present(self):
+        for name in ("quadratic-mod", "ellipse-angle", "acoth"):
+            assert core_named(name) is not None
+
+    def test_lookup_missing_raises(self):
+        with pytest.raises(KeyError):
+            core_named("not-a-benchmark")
+
+    def test_filter_by_operators(self):
+        arith_ops = {"+", "-", "*", "/", "neg", "sqrt", "fabs"}
+        selected = suite(operators_subset=arith_ops)
+        assert 0 < len(selected) < len(curated_suite())
+        for core in selected:
+            assert core.body.operators() <= arith_ops
+
+    def test_filter_by_vars(self):
+        for core in suite(max_vars=1):
+            assert len(core.arguments) == 1
+
+    def test_max_benchmarks(self):
+        assert len(suite(max_benchmarks=5)) == 5
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        assert generate_core(42).body == generate_core(42).body
+
+    def test_distinct_seeds(self):
+        assert generate_core(1).body != generate_core(2).body
+
+    def test_all_variables_used(self):
+        core = generate_core(7, n_vars=3)
+        assert core.body.free_vars() == {"x0", "x1", "x2"}
+
+    def test_suite_scales(self):
+        cores = generate_suite(20)
+        assert len(cores) == 20
+        assert len({c.name for c in cores}) == 20
+
+    def test_generated_cores_sampleable(self):
+        from repro.accuracy import SampleConfig, SamplingError, sample_core
+
+        ok = 0
+        for core in generate_suite(6):
+            try:
+                sample_core(core, SampleConfig(n_train=4, n_test=4, max_batches=8))
+                ok += 1
+            except SamplingError:
+                continue
+        assert ok >= 4  # most generated benchmarks are usable
+
+
+class TestParetoAggregation:
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_pareto_filter(self):
+        entries = [(1.0, 60.0), (2.0, 40.0), (0.5, 70.0), (1.5, 30.0)]
+        kept = pareto_filter(entries)
+        assert (1.5, 30.0) not in kept  # dominated by (2.0, 40.0)
+        assert (2.0, 40.0) in kept and (0.5, 70.0) in kept
+
+    def test_joint_pareto_single_benchmark(self):
+        curve = joint_pareto([[(1.0, 60.0), (3.0, 30.0)]])
+        assert any(p.speedup == pytest.approx(3.0) for p in curve)
+        assert any(p.total_accuracy == pytest.approx(60.0) for p in curve)
+
+    def test_joint_pareto_sums_accuracy(self):
+        curve = joint_pareto([[(1.0, 60.0)], [(1.0, 50.0)]])
+        assert curve[-1].total_accuracy == pytest.approx(110.0)
+
+    def test_joint_pareto_geomeans_speedup(self):
+        curve = joint_pareto([[(2.0, 60.0)], [(8.0, 60.0)]])
+        assert any(p.speedup == pytest.approx(4.0) for p in curve)
+
+    def test_empty(self):
+        assert joint_pareto([]) == []
+        assert joint_pareto([[]]) == []
+
+    def test_matched_accuracy_speedup(self):
+        ours = [(4.0, 40.0), (1.5, 60.0)]
+        herbie = [(2.0, 40.0), (1.0, 55.0)]
+        matched = dict(speedup_at_matched_accuracy(ours, herbie))
+        assert matched[40.0] == pytest.approx(2.0)
+        assert matched[55.0] == pytest.approx(1.5)
+
+    def test_matched_accuracy_tails(self):
+        # we can't reach herbie's best accuracy: ratio computed against our
+        # most accurate program (may be < 1: the paper's tails)
+        ours = [(4.0, 30.0)]
+        herbie = [(2.0, 60.0)]
+        (_acc, ratio), = speedup_at_matched_accuracy(ours, herbie)
+        assert ratio == pytest.approx(2.0)
+
+
+class TestReports:
+    def test_targets_table_lists_all_nine(self):
+        table = targets_table(all_targets())
+        for name in ("arith", "avx", "c99", "python", "julia", "numpy", "vdt", "fdlibm"):
+            assert name in table
+        assert "Fog [20]" in table
+        assert "auto-tune" in table

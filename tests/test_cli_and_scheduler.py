@@ -1,0 +1,116 @@
+"""Tests for the command-line interface and the backoff scheduler."""
+
+import pytest
+
+from repro.cli import main
+from repro.egraph import BackoffScheduler, EGraph, RunnerLimits, run_rules, rw
+from repro.ir import parse_expr
+
+
+class TestBackoffScheduler:
+    def test_allows_by_default(self):
+        s = BackoffScheduler()
+        assert s.can_fire("any", 0)
+
+    def test_bans_explosive_rule(self):
+        s = BackoffScheduler(match_limit=10, ban_length=3)
+        assert not s.record_matches("boom", 50, iteration=0)
+        assert not s.can_fire("boom", 1)
+        assert not s.can_fire("boom", 2)
+        assert s.can_fire("boom", 4)
+
+    def test_ban_length_doubles(self):
+        s = BackoffScheduler(match_limit=10, ban_length=2)
+        s.record_matches("boom", 50, 0)   # banned until 2
+        assert s.can_fire("boom", 2)
+        s.record_matches("boom", 50, 2)   # threshold now 20, still over: ban 4
+        assert not s.can_fire("boom", 5)
+        assert s.can_fire("boom", 6)
+
+    def test_quiet_rule_never_banned(self):
+        s = BackoffScheduler(match_limit=10)
+        for i in range(20):
+            assert s.record_matches("calm", 3, i)
+
+    def test_runner_integration(self):
+        g = EGraph()
+        root = g.add_expr(parse_expr("(+ (+ x 0) 0)"))
+        rules = [
+            rw("id", "(+ a 0)", "a"),
+            rw("comm", "(+ a b)", "(+ b a)"),
+        ]
+        report = run_rules(
+            g, rules, RunnerLimits(max_iterations=6),
+            scheduler=BackoffScheduler(match_limit=1, ban_length=1),
+        )
+        # Still converges to x despite the scheduler throttling comm.
+        assert g.same(root, g.lookup_expr(parse_expr("x")))
+
+
+class TestCLI:
+    def test_targets_command(self, capsys):
+        assert main(["targets"]) == 0
+        out = capsys.readouterr().out
+        assert "avx" in out and "fdlibm" in out
+
+    def test_compile_builtin_benchmark(self, capsys):
+        code = main([
+            "compile", "acoth", "--target", "fdlibm",
+            "--iterations", "1", "--points", "12",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "input" in out and "output" in out
+
+    def test_compile_from_file(self, tmp_path, capsys):
+        src = tmp_path / "bench.fpcore"
+        src.write_text(
+            "(FPCore f (x) :pre (< 0.1 x 10) (- (sqrt (+ x 1)) (sqrt x)))"
+        )
+        assert main([
+            "compile", str(src), "--target", "c99",
+            "--iterations", "1", "--points", "12", "--infix",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cost=" in out
+
+    def test_compile_code_emission(self, capsys):
+        assert main([
+            "compile", "midpoint", "--target", "c99",
+            "--iterations", "1", "--points", "8", "--code",
+        ]) == 0
+        assert "#include <math.h>" in capsys.readouterr().out
+
+    def test_sample_command(self, capsys):
+        assert main(["sample", "acoth", "--points", "8"]) == 0
+        assert "acceptance" in capsys.readouterr().out
+
+    def test_score_command(self, capsys):
+        assert main(["score", "sqrt-sub", "--target", "c99", "--points", "16"]) == 0
+        assert "bits of error" in capsys.readouterr().out
+
+    def test_missing_input_fails(self):
+        with pytest.raises(SystemExit):
+            main(["compile", "/nonexistent/file.fpcore"])
+
+    def test_compile_with_target_file(self, tmp_path, capsys):
+        target_src = tmp_path / "mini.tgt"
+        target_src.write_text(
+            """
+            (define-operator (mul.f64 [a binary64] [b binary64]) binary64
+              #:approx (* a b) #:link mul64 #:cost 3)
+            (define-operator (add.f64 [a binary64] [b binary64]) binary64
+              #:approx (+ a b) #:link add64 #:cost 3)
+            (define-target mini
+              #:literals ([binary64 1])
+              #:operators (mul.f64 add.f64))
+            """
+        )
+        bench = tmp_path / "bench.fpcore"
+        bench.write_text("(FPCore f (x) :pre (< 0.1 x 10) (* x (+ x 1)))")
+        assert main([
+            "compile", str(bench), "--target-file", str(target_src),
+            "--iterations", "1", "--points", "8",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "on mini" in out

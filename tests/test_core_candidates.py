@@ -1,0 +1,83 @@
+"""Tests for candidates and Pareto frontiers (with hypothesis invariants)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Candidate, ParetoFrontier
+from repro.ir import Num, Var
+
+
+def _cand(cost, error, name="p"):
+    return Candidate(program=Var(f"{name}_{cost}_{error}"), cost=cost, error=error)
+
+
+class TestCandidate:
+    def test_dominates(self):
+        assert _cand(1, 1).dominates(_cand(2, 2))
+        assert _cand(1, 2).dominates(_cand(1, 3))
+        assert not _cand(1, 3).dominates(_cand(2, 1))
+        assert not _cand(1, 1).dominates(_cand(1, 1))  # equal: no strict edge
+
+
+class TestParetoFrontier:
+    def test_keeps_non_dominated(self):
+        f = ParetoFrontier()
+        assert f.add(_cand(10, 1))
+        assert f.add(_cand(1, 10))
+        assert len(f) == 2
+
+    def test_rejects_dominated(self):
+        f = ParetoFrontier([_cand(1, 1)])
+        assert not f.add(_cand(2, 2))
+        assert len(f) == 1
+
+    def test_evicts_dominated(self):
+        f = ParetoFrontier([_cand(5, 5), _cand(10, 2)])
+        assert f.add(_cand(1, 1))
+        assert len(f) == 1
+
+    def test_rejects_duplicate_scores(self):
+        f = ParetoFrontier([_cand(3, 3)])
+        assert not f.add(_cand(3, 3, name="other"))
+
+    def test_best_accessors(self):
+        f = ParetoFrontier([_cand(10, 1), _cand(1, 10), _cand(5, 5)])
+        assert f.best_error().error == 1
+        assert f.best_cost().cost == 1
+
+    def test_empty_best_raises(self):
+        with pytest.raises(ValueError):
+            ParetoFrontier().best_error()
+
+    def test_fastest_within(self):
+        f = ParetoFrontier([_cand(10, 1), _cand(1, 10), _cand(5, 5)])
+        assert f.fastest_within(5).cost == 5
+        assert f.fastest_within(0.5) is None
+
+    def test_sorted_by_cost(self):
+        f = ParetoFrontier([_cand(10, 1), _cand(1, 10), _cand(5, 5)])
+        costs = [c.cost for c in f.sorted_by_cost()]
+        assert costs == sorted(costs)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.1, max_value=1e4),
+            st.floats(min_value=0.0, max_value=64.0),
+        ),
+        max_size=40,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_frontier_invariant_no_mutual_domination(pairs):
+    f = ParetoFrontier(_cand(c, e, name=str(i)) for i, (c, e) in enumerate(pairs))
+    items = list(f)
+    for a in items:
+        for b in items:
+            if a is not b:
+                assert not a.dominates(b)
+    # every input is dominated-or-equal by something on the frontier
+    for cost, error in pairs:
+        assert any(c.cost <= cost and c.error <= error for c in items)

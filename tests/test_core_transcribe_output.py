@@ -1,0 +1,104 @@
+"""Tests for transcription (FPCore -> target programs) and code generation."""
+
+import pytest
+
+from repro.core import Untranscribable, render, to_c, to_fpcore, to_julia, to_python, transcribe
+from repro.ir import F32, F64, parse_expr, parse_fpcore
+
+
+class TestTranscribe:
+    def test_direct(self, c99):
+        out = transcribe(parse_expr("(+ x (sqrt y))"), c99)
+        assert out == parse_expr(
+            "(add.f64 x (sqrt.f64 y))", known_ops=set(c99.operators)
+        )
+
+    def test_f32(self, c99):
+        out = transcribe(parse_expr("(/ x y)"), c99, F32)
+        assert out.op == "div.f32"
+
+    def test_neg_fallback_on_avx(self, avx):
+        # AVX has no negation instruction: (- 0 x) is used instead.
+        out = transcribe(parse_expr("(neg x)"), avx)
+        assert out == parse_expr("(sub.f64 0 x)", known_ops=set(avx.operators))
+
+    def test_helper_desugaring_fallback(self, python_target):
+        # Python has no fma... and no need here; but hypot exists; cbrt doesn't.
+        out = transcribe(parse_expr("(cbrt x)"), python_target)
+        assert "pow.f64" in out.operators()
+
+    def test_unsupported_raises(self, arith):
+        with pytest.raises(Untranscribable):
+            transcribe(parse_expr("(sin x)"), arith)
+
+    def test_conditionals(self, c99):
+        out = transcribe(parse_expr("(if (< x 0) (neg x) x)"), c99)
+        assert out.op == "if"
+        assert out.args[0].op == "<"
+
+    def test_accurate_operator_preferred(self, vdt):
+        out = transcribe(parse_expr("(exp x)"), vdt)
+        assert out.op == "exp.f64"  # never fast_exp for input programs
+
+    def test_no_fallbacks_mode(self, python_target):
+        with pytest.raises(Untranscribable):
+            transcribe(
+                parse_expr("(cbrt x)"), python_target, allow_fallbacks=False
+            )
+
+
+class TestCodegen:
+    def setup_method(self):
+        self.core = parse_fpcore("(FPCore prog (x y) (+ x (* y y)))")
+
+    def test_c(self, c99):
+        program = transcribe(self.core.body, c99)
+        source = to_c(program, self.core, c99)
+        assert "double prog(double x, double y)" in source
+        assert "return (x + (y * y));" in source
+        assert "#include <math.h>" in source
+
+    def test_c_f32_suffixes(self, c99):
+        core32 = parse_fpcore("(FPCore p (x) :precision binary32 (sqrt x))")
+        program = transcribe(core32.body, c99, F32)
+        source = to_c(program, core32, c99)
+        assert "sqrtf(x)" in source
+        assert "float p(float x)" in source
+
+    def test_python_runs(self, python_target):
+        program = transcribe(parse_expr("(+ x (sqrt y))"), python_target)
+        source = to_python(program, parse_fpcore("(FPCore f (x y) (+ x (sqrt y)))"), python_target)
+        namespace: dict = {}
+        exec(source, namespace)  # noqa: S102 - testing generated code
+        assert namespace["f"](1.0, 4.0) == 3.0
+
+    def test_python_conditional_runs(self, python_target):
+        expr = parse_expr("(if (< x 0) (neg x) x)")
+        program = transcribe(expr, python_target)
+        core = parse_fpcore("(FPCore absval (x) (if (< x 0) (- x) x))")
+        namespace: dict = {}
+        exec(to_python(program, core, python_target), namespace)  # noqa: S102
+        assert namespace["absval"](-3.0) == 3.0
+
+    def test_julia(self, julia):
+        program = parse_expr(
+            "(add.f64 (abs2.f64 x) (sind.f64 y))", known_ops=set(julia.operators)
+        )
+        core = parse_fpcore("(FPCore g (x y) (+ (* x x) (sin y)))")
+        source = to_julia(program, core, julia)
+        assert "function g(x, y)" in source
+        assert "abs2(x)" in source and "sind(y)" in source
+
+    def test_fpcore_roundtrip(self, c99):
+        program = transcribe(self.core.body, c99)
+        text = to_fpcore(program, self.core)
+        again = parse_fpcore(text, known_ops=set(c99.operators))
+        assert again.body == program
+
+    def test_render_dispatches(self, c99, julia, python_target):
+        program = transcribe(self.core.body, c99)
+        assert "#include" in render(program, self.core, c99)
+        py_prog = transcribe(self.core.body, python_target)
+        assert "def prog" in render(py_prog, self.core, python_target)
+        jl_prog = transcribe(self.core.body, julia)
+        assert "function prog" in render(jl_prog, self.core, julia)

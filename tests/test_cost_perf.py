@@ -1,0 +1,167 @@
+"""Tests for cost models, cost opportunity, and the performance simulator."""
+
+import math
+
+import pytest
+
+from repro.cost import NaiveCostModel, TargetCostModel, cost_opportunities, infer_types
+from repro.ir import F32, F64, parse_expr
+from repro.perf import PerfSimulator
+
+
+def _prog(src, target):
+    return parse_expr(src, known_ops=set(target.operators))
+
+
+class TestCostModel:
+    def test_sum_of_operator_costs(self, avx):
+        model = TargetCostModel(avx)
+        prog = _prog("(mul.f64 x y)", avx)
+        expected = avx.operator("mul.f64").cost + 2 * avx.variable_cost
+        assert model.program_cost(prog) == expected
+
+    def test_literal_cost(self, avx):
+        model = TargetCostModel(avx)
+        assert model.program_cost(_prog("(mul.f64 x 2)", avx)) == pytest.approx(
+            avx.operator("mul.f64").cost + avx.variable_cost + 1.0
+        )
+
+    def test_scalar_if_takes_max_branch(self, c99):
+        model = TargetCostModel(c99)
+        prog = _prog("(if (< x 0) (exp.f64 x) x)", c99)
+        cheap_branch = model.program_cost(_prog("x", c99))
+        pricey_branch = model.program_cost(_prog("(exp.f64 x)", c99))
+        cond = model.program_cost(_prog("x", c99)) * 2 + c99.if_cost  # x < 0
+        total = model.program_cost(prog)
+        assert total == pytest.approx(cond + max(cheap_branch, pricey_branch) + c99.if_cost)
+
+    def test_vector_if_takes_both_branches(self, avx):
+        model = TargetCostModel(avx)
+        prog = _prog("(if (< x 0) (sqrt.f64 x) x)", avx)
+        scalar_like = (
+            2 * avx.variable_cost + avx.if_cost  # comparison
+            + avx.operator("sqrt.f64").cost + avx.variable_cost
+            + avx.variable_cost
+            + avx.if_cost
+        )
+        assert model.program_cost(prog) == pytest.approx(scalar_like)
+
+    def test_unknown_operator_raises(self, arith):
+        model = TargetCostModel(arith)
+        with pytest.raises(KeyError):
+            model.program_cost(parse_expr("(exp.f64 x)", known_ops={"exp.f64"}))
+
+    def test_supports_program(self, arith):
+        model = TargetCostModel(arith)
+        assert model.supports_program(_prog("(add.f64 x y)", arith))
+        assert not model.supports_program(parse_expr("(exp.f64 x)", known_ops={"exp.f64"}))
+
+    def test_typed_protocol(self, avx):
+        model = TargetCostModel(avx)
+        assert model.operator_signature("rcp.f32") == ((F32,), F32)
+        assert model.operator_signature("+") is None
+        assert set(model.literal_types()) == {F32, F64}
+
+    def test_naive_model_constants(self):
+        assert NaiveCostModel.ARITH_COST == 1.0
+        assert NaiveCostModel.CALL_COST == 100.0
+
+
+class TestInferTypes:
+    def test_mixed_types(self, avx):
+        prog = _prog("(cast.f64 (rcp.f32 (cast.f32 x)))", avx)
+        types = infer_types(prog, avx, F64)
+        assert types[()] == F64
+        assert types[(0,)] == F32
+        assert types[(0, 0)] == F32
+        assert types[(0, 0, 0)] == F64
+
+
+class TestCostOpportunity:
+    def test_paper_worked_example(self, avx):
+        """Section 5.2: in 1 + x/y the division carries the opportunity."""
+        prog = _prog("(add.f32 1 (div.f32 x y))", avx)
+        opps = cost_opportunities(prog, avx, ty=F32)
+        assert opps[(1,)] > 0  # the division
+        # division opportunity ~= div cost - (mul + rcp)
+        assert opps[(1,)] == pytest.approx(
+            avx.operator("div.f32").cost
+            - avx.operator("mul.f32").cost
+            - avx.operator("rcp.f32").cost,
+            abs=1.0,
+        )
+
+    def test_no_opportunity_when_already_minimal(self, arith):
+        prog = _prog("(add.f64 x y)", arith)
+        opps = cost_opportunities(prog, arith)
+        assert all(v == 0.0 for v in opps.values())
+
+    def test_children_not_double_credited(self, avx):
+        prog = _prog("(add.f32 1 (div.f32 x y))", avx)
+        opps = cost_opportunities(prog, avx, ty=F32)
+        # The root must not also claim the division's savings.
+        assert opps[()] <= opps[(1,)] + avx.operator("fma.f32").cost + 2
+
+    def test_fdlibm_log_pair_opportunity(self, fdlibm):
+        prog = _prog(
+            "(sub.f64 (log.f64 (add.f64 1 x)) (log.f64 (sub.f64 1 x)))", fdlibm
+        )
+        opps = cost_opportunities(prog, fdlibm)
+        assert opps[()] > 10  # log1pmd replaces two logs
+
+
+class TestPerfSimulator:
+    def test_deterministic(self, c99, small_samples):
+        sim = PerfSimulator(c99)
+        prog = _prog("(add.f64 x 1)", c99)
+        a = sim.run_time(prog, small_samples.test)
+        assert a == sim.run_time(prog, small_samples.test)
+
+    def test_tracks_latency_ordering(self, c99, small_samples):
+        sim = PerfSimulator(c99)
+        cheap = sim.run_time(_prog("(add.f64 x 1)", c99), small_samples.test)
+        pricey = sim.run_time(_prog("(pow.f64 x x)", c99), small_samples.test)
+        assert pricey > cheap
+
+    def test_interpreter_overhead(self, python_target, c99, small_samples):
+        prog64 = "(add.f64 x 1)"
+        py = PerfSimulator(python_target).run_time(
+            _prog(prog64, python_target), small_samples.test
+        )
+        c = PerfSimulator(c99).run_time(_prog(prog64, c99), small_samples.test)
+        assert py > 5 * c
+
+    def test_denormal_penalty(self, arith):
+        sim = PerfSimulator(arith)
+        prog = _prog("(mul.f64 x x)", arith)
+        normal = sim.run_time(prog, [{"x": 1.5}])
+        denormal = sim.run_time(prog, [{"x": 1e-310}])
+        assert denormal > 3 * normal
+
+    def test_python_división_by_zero_exception(self, python_target):
+        sim = PerfSimulator(python_target)
+        prog = _prog("(div.f64 x y)", python_target)
+        ok = sim.run_time(prog, [{"x": 1.0, "y": 2.0}])
+        crash = sim.run_time(prog, [{"x": 1.0, "y": 0.0}])
+        assert crash > ok + 100
+
+    def test_vector_if_pays_both_branches(self, avx, c99):
+        src = "(if (< x 0) (sqrt.f64 (sub.f64 0 x)) (sqrt.f64 x))"
+        points = [{"x": 4.0}]
+        vec = PerfSimulator(avx).run_time(_prog(src, avx), points)
+        single_sqrt = PerfSimulator(avx).run_time(_prog("(sqrt.f64 x)", avx), points)
+        # Masked execution runs both branches; with ILP they overlap
+        # partially, so the cost exceeds one branch substantially but can
+        # stay under the full serial 2x.
+        assert vec > 1.5 * single_sqrt
+
+    def test_missing_operator_raises(self, arith):
+        sim = PerfSimulator(arith)
+        with pytest.raises(KeyError):
+            sim.run_time(parse_expr("(exp.f64 x)", known_ops={"exp.f64"}), [{"x": 1.0}])
+
+    def test_operator_run_time_for_autotune(self, c99):
+        sim = PerfSimulator(c99)
+        add = sim.operator_run_time("add.f64", [(1.0, 2.0)] * 4)
+        pow_time = sim.operator_run_time("pow.f64", [(1.5, 2.5)] * 4)
+        assert pow_time > add

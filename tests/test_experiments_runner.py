@@ -1,0 +1,95 @@
+"""Small end-to-end runs of the experiment harness (scaled-down figures)."""
+
+import math
+
+import pytest
+
+from repro.accuracy import SampleConfig
+from repro.benchsuite import core_named
+from repro.core import CompileConfig
+from repro.experiments import (
+    ExperimentConfig,
+    clang_report,
+    correlation,
+    cost_model_report,
+    herbie_relative_report,
+    herbie_report,
+    run_clang_comparison,
+    run_cost_model_study,
+    run_herbie_comparison,
+)
+from repro.targets import get_target
+
+TINY = ExperimentConfig(
+    CompileConfig(iterations=1, localize_points=6, max_variants=12),
+    SampleConfig(n_train=16, n_test=16),
+)
+
+CORES = [core_named("sqrt-sub"), core_named("logistic")]
+
+
+@pytest.fixture(scope="module")
+def clang_results(c99):
+    return run_clang_comparison(CORES, c99, TINY)
+
+
+@pytest.fixture(scope="module")
+def herbie_results(c99, vdt):
+    return run_herbie_comparison(CORES, [c99, vdt], TINY)
+
+
+class TestClangComparison:
+    def test_produces_rows(self, clang_results):
+        assert len(clang_results) >= 1
+
+    def test_twelve_configs_each(self, clang_results):
+        for row in clang_results:
+            assert len(row.clang) == 12
+
+    def test_o0_speedup_is_one(self, clang_results):
+        for row in clang_results:
+            assert row.clang["-O0"][0] == pytest.approx(1.0)
+
+    def test_chassis_beats_clang_somewhere(self, clang_results):
+        """The paper's headline: Chassis dominates the Clang curve."""
+        for row in clang_results:
+            best_chassis = max(s for s, _a in row.chassis)
+            best_clang = max(s for s, _a in row.clang.values())
+            assert best_chassis >= best_clang * 0.9  # usually far above
+
+    def test_report_renders(self, clang_results):
+        text = clang_report(clang_results)
+        assert "Figure 7" in text and "-ffast-math" in text
+
+
+class TestHerbieComparison:
+    def test_produces_rows(self, herbie_results):
+        assert len(herbie_results) >= 2
+
+    def test_entries_have_positive_speedups(self, herbie_results):
+        for row in herbie_results:
+            assert all(s > 0 for s, _a in row.chassis)
+            assert all(s > 0 for s, _a in row.herbie)
+
+    def test_discard_rule_applied(self, herbie_results):
+        """Chassis outputs more accurate than Herbie's best are discarded."""
+        for row in herbie_results:
+            herbie_best = max(a for _s, a in row.herbie)
+            for _s, accuracy in row.chassis:
+                assert accuracy <= herbie_best + 0.5 + 1e-9
+
+    def test_reports_render(self, herbie_results):
+        assert "Figure 8" in herbie_report(herbie_results)
+        assert "Figure 9" in herbie_relative_report(herbie_results)
+
+
+class TestCostModelStudy:
+    def test_positive_correlation(self, c99, python_target):
+        points = run_cost_model_study(CORES, [c99, python_target], TINY)
+        assert len(points) >= 4
+        r = correlation(points)
+        assert r > 0.3  # the paper reports moderate-to-strong correlation
+
+    def test_report_renders(self, c99):
+        points = run_cost_model_study(CORES[:1], [c99], TINY)
+        assert "Figure 10" in cost_model_report(points)

@@ -1,0 +1,131 @@
+"""Unit tests for the expression IR."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir import App, Const, Num, Var, add, div, mul, neg, parse_expr, sub
+
+
+class TestConstruction:
+    def test_var(self):
+        v = Var("x")
+        assert v.name == "x"
+        assert v == Var("x")
+        assert v != Var("y")
+
+    def test_num_exact(self):
+        n = Num("0.1")
+        assert n.value == Fraction(1, 10)  # exact, not the double 0.1
+
+    def test_num_from_int(self):
+        assert Num(3).value == Fraction(3)
+
+    def test_const_validates(self):
+        assert Const("PI").name == "PI"
+        with pytest.raises(ValueError):
+            Const("TAU")
+
+    def test_app(self):
+        e = App("+", (Var("x"), Num(1)))
+        assert e.op == "+"
+        assert e.args == (Var("x"), Num(1))
+
+    def test_immutability(self):
+        v = Var("x")
+        with pytest.raises(AttributeError):
+            v.name = "y"
+        e = App("+", (v, v))
+        with pytest.raises(AttributeError):
+            e.op = "-"
+
+    def test_equality_and_hash(self):
+        a = add(Var("x"), Num(1))
+        b = add(Var("x"), Num(1))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != sub(Var("x"), Num(1))
+
+
+class TestTreeUtilities:
+    def setup_method(self):
+        self.expr = parse_expr("(- (sqrt (+ x 1)) (sqrt x))")
+
+    def test_size(self):
+        assert self.expr.size() == 7
+
+    def test_depth(self):
+        assert self.expr.depth() == 4
+
+    def test_free_vars(self):
+        assert self.expr.free_vars() == {"x"}
+        assert parse_expr("(+ a (* b c))").free_vars() == {"a", "b", "c"}
+
+    def test_subexprs_covers_all_nodes(self):
+        nodes = dict(self.expr.subexprs())
+        assert nodes[()] == self.expr
+        assert len(nodes) == 7
+
+    def test_at(self):
+        assert self.expr.at((0,)) == parse_expr("(sqrt (+ x 1))")
+        assert self.expr.at((0, 0, 1)) == Num(1)
+
+    def test_at_root(self):
+        assert self.expr.at(()) is self.expr
+
+    def test_replace_at(self):
+        replaced = self.expr.replace_at((1,), Var("y"))
+        assert replaced == parse_expr("(- (sqrt (+ x 1)) y)")
+        # original untouched
+        assert self.expr.at((1,)) == parse_expr("(sqrt x)")
+
+    def test_replace_at_root(self):
+        assert self.expr.replace_at((), Num(0)) == Num(0)
+
+    def test_replace_at_leaf_path_raises(self):
+        with pytest.raises(IndexError):
+            Var("x").replace_at((0,), Num(1))
+
+    def test_substitute(self):
+        e = parse_expr("(+ x (* x y))")
+        out = e.substitute({"x": Num(2)})
+        assert out == parse_expr("(+ 2 (* 2 y))")
+
+    def test_substitute_identity_shares(self):
+        e = parse_expr("(+ x y)")
+        assert e.substitute({}) is e
+
+    def test_operators(self):
+        assert self.expr.operators() == {"-", "sqrt", "+"}
+
+    def test_map_ops(self):
+        renamed = parse_expr("(+ x y)").map_ops(lambda op: op + ".f64")
+        assert renamed == App("+.f64", (Var("x"), Var("y")))
+
+
+class TestHelpers:
+    def test_constructors(self):
+        x, y = Var("x"), Var("y")
+        assert add(x, y).op == "+"
+        assert sub(x, y).op == "-"
+        assert mul(x, y).op == "*"
+        assert div(x, y).op == "/"
+        assert neg(x).op == "neg"
+
+
+@given(st.integers(min_value=-10**12, max_value=10**12), st.integers(min_value=1, max_value=10**6))
+def test_num_fraction_roundtrip(numerator, denominator):
+    n = Num(Fraction(numerator, denominator))
+    assert n == Num(Fraction(numerator, denominator))
+    assert n.value == Fraction(numerator, denominator)
+
+
+@given(st.recursive(
+    st.sampled_from([Var("x"), Var("y"), Num(1), Num(Fraction(1, 3))]),
+    lambda children: st.builds(lambda a, b: App("+", (a, b)), children, children),
+    max_leaves=12,
+))
+def test_size_matches_subexpr_count(expr):
+    assert expr.size() == sum(1 for _ in expr.subexprs())

@@ -1,0 +1,153 @@
+"""Unit tests for S-expression and FPCore parsing."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.ir import (
+    App,
+    Const,
+    Num,
+    ParseError,
+    Var,
+    parse_expr,
+    parse_fpcore,
+    parse_fpcores,
+    parse_number,
+    parse_sexpr,
+    parse_sexprs,
+)
+
+
+class TestTokenizerAndReader:
+    def test_nested(self):
+        assert parse_sexpr("(a (b c) d)") == ["a", ["b", "c"], "d"]
+
+    def test_brackets_as_parens(self):
+        assert parse_sexpr("[a [b] c]") == ["a", ["b"], "c"]
+
+    def test_comments_ignored(self):
+        forms = parse_sexprs("; header\n(a) ; trailing\n(b)")
+        assert forms == [["a"], ["b"]]
+
+    def test_strings(self):
+        assert parse_sexpr('(:name "hello world")') == [":name", '"hello world"']
+
+    def test_unbalanced_raises(self):
+        with pytest.raises(ParseError):
+            parse_sexpr("(a (b)")
+        with pytest.raises(ParseError):
+            parse_sexpr(")")
+
+    def test_multiple_when_one_expected(self):
+        with pytest.raises(ParseError):
+            parse_sexpr("(a) (b)")
+
+
+class TestNumbers:
+    @pytest.mark.parametrize(
+        "token, expected",
+        [
+            ("1", Fraction(1)),
+            ("-2", Fraction(-2)),
+            ("0.5", Fraction(1, 2)),
+            ("1e3", Fraction(1000)),
+            ("1.5e-2", Fraction(3, 200)),
+            ("1/3", Fraction(1, 3)),
+            ("-7/2", Fraction(-7, 2)),
+        ],
+    )
+    def test_numeric(self, token, expected):
+        assert parse_number(token) == expected
+
+    @pytest.mark.parametrize("token", ["x", "sqrt", "1.2.3", "a/b"])
+    def test_non_numeric(self, token):
+        assert parse_number(token) is None
+
+
+class TestExprParsing:
+    def test_basic(self):
+        assert parse_expr("(+ x 1)") == App("+", (Var("x"), Num(1)))
+
+    def test_constants(self):
+        assert parse_expr("PI") == Const("PI")
+        assert parse_expr("E") == Const("E")
+
+    def test_unary_minus_is_neg(self):
+        assert parse_expr("(- x)") == App("neg", (Var("x"),))
+
+    def test_variadic_arithmetic(self):
+        assert parse_expr("(+ a b c)") == App("+", (App("+", (Var("a"), Var("b"))), Var("c")))
+
+    def test_chained_comparison(self):
+        out = parse_expr("(< 0 x 1)")
+        assert out == App(
+            "and", (App("<", (Num(0), Var("x"))), App("<", (Var("x"), Num(1))))
+        )
+
+    def test_variadic_and(self):
+        out = parse_expr("(and TRUE TRUE FALSE)")
+        assert out.op == "and"
+
+    def test_let_expansion(self):
+        out = parse_expr("(let ((t (* x x))) (+ t t))")
+        assert out == parse_expr("(+ (* x x) (* x x))")
+
+    def test_let_star_sequential(self):
+        out = parse_expr("(let* ((a (+ x 1)) (b (* a a))) b)")
+        assert out == parse_expr("(* (+ x 1) (+ x 1))")
+
+    def test_unknown_operator_raises(self):
+        with pytest.raises(ParseError):
+            parse_expr("(frobnicate x)")
+
+    def test_known_ops_extension(self):
+        out = parse_expr("(rcp.f32 x)", known_ops={"rcp.f32"})
+        assert out == App("rcp.f32", (Var("x"),))
+
+    def test_if(self):
+        out = parse_expr("(if (< x 0) (- x) x)")
+        assert out.op == "if"
+        assert len(out.args) == 3
+
+
+class TestFPCoreParsing:
+    def test_minimal(self):
+        core = parse_fpcore("(FPCore (x) (+ x 1))")
+        assert core.arguments == ("x",)
+        assert core.precision == "binary64"
+        assert core.pre is None
+
+    def test_named_with_props(self):
+        core = parse_fpcore(
+            '(FPCore ident (x y) :name "my bench" :precision binary32 :pre (< x y) (- y x))'
+        )
+        assert core.name == "ident"
+        assert core.precision == "binary32"
+        assert core.pre == App("<", (Var("x"), Var("y")))
+        assert core.properties["name"] == "my bench"
+
+    def test_annotated_argument(self):
+        core = parse_fpcore("(FPCore ((! :precision binary32 x)) (+ x 1))")
+        assert core.arguments == ("x",)
+
+    def test_unbound_variable_rejected(self):
+        with pytest.raises(ValueError):
+            parse_fpcore("(FPCore (x) (+ x q))")
+
+    def test_missing_body_rejected(self):
+        with pytest.raises(ParseError):
+            parse_fpcore("(FPCore (x) :name \"no body\")")
+
+    def test_parse_many(self):
+        cores = parse_fpcores("(FPCore (x) x) (FPCore (y) (* y y))")
+        assert len(cores) == 2
+
+    def test_roundtrip_through_text(self):
+        core = parse_fpcore(
+            "(FPCore f (x) :pre (and (< 0 x) (< x 1)) (sqrt (- 1 x)))"
+        )
+        again = parse_fpcore(core.to_sexpr())
+        assert again.body == core.body
+        assert again.arguments == core.arguments
+        assert again.pre == core.pre

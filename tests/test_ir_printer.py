@@ -1,0 +1,84 @@
+"""Printer tests, including the parse/print round-trip property."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir import App, Const, Num, Var, expr_to_infix, expr_to_sexpr, parse_expr
+from repro.ir.printer import format_fraction
+
+
+class TestFormatFraction:
+    @pytest.mark.parametrize(
+        "value, text",
+        [
+            (Fraction(3), "3"),
+            (Fraction(-4), "-4"),
+            (Fraction(1, 2), "0.5"),
+            (Fraction(1, 4), "0.25"),
+            (Fraction(1, 10), "0.1"),
+            (Fraction(-3, 20), "-0.15"),
+            (Fraction(1, 3), "1/3"),
+            (Fraction(-5, 7), "-5/7"),
+        ],
+    )
+    def test_rendering(self, value, text):
+        assert format_fraction(value) == text
+
+    def test_exact_roundtrip_via_parser(self):
+        from repro.ir import parse_number
+
+        for value in (Fraction(1, 3), Fraction(7, 10), Fraction(-9, 8), Fraction(123)):
+            assert parse_number(format_fraction(value)) == value
+
+
+class TestSexprPrinter:
+    def test_basic(self):
+        assert expr_to_sexpr(parse_expr("(+ x 1)")) == "(+ x 1)"
+
+    def test_neg_prints_as_unary_minus(self):
+        assert expr_to_sexpr(parse_expr("(- x)")) == "(- x)"
+
+    def test_constants(self):
+        assert expr_to_sexpr(Const("PI")) == "PI"
+
+
+class TestInfixPrinter:
+    def test_precedence(self):
+        assert expr_to_infix(parse_expr("(* (+ a b) c)")) == "(a + b) * c"
+        assert expr_to_infix(parse_expr("(+ a (* b c))")) == "a + b * c"
+
+    def test_function_calls(self):
+        assert expr_to_infix(parse_expr("(sqrt (+ x 1))")) == "sqrt(x + 1)"
+
+    def test_if(self):
+        text = expr_to_infix(parse_expr("(if (< x 0) (- x) x)"))
+        assert "if" in text and "else" in text
+
+
+# --- hypothesis: parse(print(e)) == e ---------------------------------------------------
+
+_leaves = st.one_of(
+    st.sampled_from([Var("x"), Var("y"), Var("z"), Const("PI"), Const("E")]),
+    st.integers(min_value=-1000, max_value=1000).map(Num),
+    st.fractions(min_value=-100, max_value=100).map(Num),
+)
+
+
+def _apps(children):
+    unary = st.sampled_from(["sqrt", "exp", "log", "sin", "neg", "fabs"])
+    binary = st.sampled_from(["+", "-", "*", "/", "pow", "hypot"])
+    return st.one_of(
+        st.builds(lambda op, a: App(op, (a,)), unary, children),
+        st.builds(lambda op, a, b: App(op, (a, b)), binary, children, children),
+    )
+
+
+expr_strategy = st.recursive(_leaves, _apps, max_leaves=20)
+
+
+@given(expr_strategy)
+def test_print_parse_roundtrip(expr):
+    assert parse_expr(expr_to_sexpr(expr)) == expr

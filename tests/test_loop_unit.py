@@ -1,0 +1,92 @@
+"""Unit tests for the improvement loop's pieces (localize, score, work)."""
+
+import math
+
+import pytest
+
+from repro.accuracy import SampleConfig, sample_core
+from repro.core import CompileConfig
+from repro.core.loop import ImprovementLoop
+from repro.core.transcribe import transcribe
+from repro.ir import parse_expr, parse_fpcore
+
+
+@pytest.fixture(scope="module")
+def loop(fdlibm):
+    core = parse_fpcore(
+        "(FPCore acoth (x) :pre (and (< 0.001 (fabs x)) (< (fabs x) 0.999))"
+        " (* 1/2 (log (/ (+ 1 x) (- 1 x)))))"
+    )
+    samples = sample_core(core, SampleConfig(n_train=16, n_test=16))
+    return ImprovementLoop(
+        core, fdlibm, samples, CompileConfig(iterations=1, localize_points=6)
+    )
+
+
+class TestScore:
+    def test_candidate_fields(self, loop):
+        program = transcribe(loop.core.body, loop.target)
+        candidate = loop.score(program, "initial")
+        assert candidate.origin == "initial"
+        assert len(candidate.point_errors) == len(loop.samples.train)
+        assert candidate.cost > 0
+        assert candidate.error == pytest.approx(
+            sum(candidate.point_errors) / len(candidate.point_errors)
+        )
+
+    def test_unsupported_program_scores_worst(self, loop):
+        program = parse_expr("(frob.f64 x)", known_ops={"frob.f64"})
+        candidate = loop.score(program, "bad")
+        assert candidate.cost == float("inf")
+        assert candidate.error == 64.0
+
+
+class TestLocalize:
+    def test_returns_paths_into_program(self, loop):
+        program = transcribe(loop.core.body, loop.target)
+        paths = loop.localize(program)
+        assert paths
+        for path in paths:
+            program.at(path)  # must not raise
+
+    def test_root_included_for_small_programs(self, loop):
+        program = transcribe(loop.core.body, loop.target)
+        assert () in loop.localize(program)
+
+
+class TestVariants:
+    def test_variants_substitutable(self, loop):
+        program = transcribe(loop.core.body, loop.target)
+        paths = loop.localize(program)
+        variants = loop.variants_for(program, paths[0])
+        assert variants
+        for variant in variants[:5]:
+            rebuilt = program.replace_at(paths[0], variant)
+            assert rebuilt.free_vars() <= program.free_vars()
+
+    def test_series_disabled(self, fdlibm):
+        core = parse_fpcore("(FPCore f (x) :pre (< 0.01 x 1) (- (exp x) 1))")
+        samples = sample_core(core, SampleConfig(n_train=8, n_test=8))
+        no_series = ImprovementLoop(
+            core, fdlibm, samples,
+            CompileConfig(iterations=1, enable_series=False, localize_points=4),
+        )
+        program = transcribe(core.body, fdlibm)
+        variants = no_series.variants_for(program, ())
+        # with series disabled, all variants come from the e-graph and are
+        # mathematically-equivalent forms, not truncated polynomials
+        assert all("expm1" in str(v) or "exp" in str(v) or "log" in str(v)
+                   for v in variants)
+
+
+class TestWorkSelection:
+    def test_expands_frontier_extremes(self, loop):
+        frontier = loop.run()
+        # after a run, everything the loop expanded is recorded
+        assert loop._expanded
+        # frontier holds mutually non-dominated candidates only
+        items = list(frontier)
+        for a in items:
+            for b in items:
+                if a is not b:
+                    assert not a.dominates(b)

@@ -1,0 +1,48 @@
+"""Tests for polynomial-approximation transcription (paper section 2)."""
+
+import math
+
+import pytest
+
+from repro.accuracy import score_program
+from repro.core import Untranscribable, transcribe_with_poly
+from repro.cost import TargetCostModel
+from repro.ir import parse_expr
+
+
+class TestTranscribeWithPoly:
+    def test_plain_transcription_untouched(self, c99):
+        out = transcribe_with_poly(parse_expr("(+ x (sqrt y))"), c99)
+        assert out.op == "add.f64"
+
+    def test_sin_on_arith_becomes_polynomial(self, arith):
+        out = transcribe_with_poly(parse_expr("(sin x)"), arith, degree=5)
+        assert TargetCostModel(arith).supports_program(out)
+        assert "sin" not in str(out)
+
+    def test_polynomial_accurate_near_zero(self, arith):
+        out = transcribe_with_poly(parse_expr("(sin x)"), arith, degree=7)
+        points = [{"x": 0.02 * k} for k in range(1, 5)]
+        exact = [math.sin(p["x"]) for p in points]
+        near = score_program(out, arith, points, exact)
+        assert near < 10  # truncation error only, not garbage
+        far_points = [{"x": 0.5}, {"x": 1.0}]
+        far = score_program(out, arith, far_points, [math.sin(0.5), math.sin(1.0)])
+        assert near < far < 64  # degrades smoothly away from the expansion
+
+    def test_nested_inside_supported_ops(self, avx):
+        # a * exp(x): mul is native, exp needs approximation.
+        out = transcribe_with_poly(parse_expr("(* a (exp x))"), avx, degree=4)
+        assert TargetCostModel(avx).supports_program(out)
+        assert out.op == "mul.f64"
+
+    def test_multivariate_transcendental_still_fails(self, arith):
+        with pytest.raises(Untranscribable):
+            transcribe_with_poly(parse_expr("(atan2 y x)"), arith)
+
+    def test_conditional_branches_lowered(self, arith):
+        out = transcribe_with_poly(
+            parse_expr("(if (< x 0) (exp x) x)"), arith, degree=4
+        )
+        assert out.op == "if"
+        assert TargetCostModel(arith).supports_program(out.args[1])

@@ -1,0 +1,199 @@
+"""Tests for the interval oracle: enclosure soundness and correct rounding."""
+
+import math
+
+import mpmath
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from mpmath import mp, mpf
+
+from repro.ir import parse_expr
+from repro.rival import DomainError, Interval, PrecisionExhausted, RivalEvaluator
+from repro.rival.interval import (
+    iadd,
+    icos,
+    idiv,
+    iexp,
+    ifabs,
+    ilog,
+    imul,
+    ipow,
+    isin,
+    isqrt,
+    isub,
+    itan,
+)
+
+
+class TestIntervalBasics:
+    def test_point(self):
+        iv = Interval.point(1.5)
+        assert iv.is_point()
+        assert iv.contains(1.5)
+
+    def test_error_flag(self):
+        assert Interval.error().err
+
+    def test_inverted_raises(self):
+        with pytest.raises(ValueError):
+            Interval(2, 1)
+
+    def test_contains_zero(self):
+        assert Interval(-1, 1).contains_zero()
+        assert not Interval(1, 2).contains_zero()
+
+
+class TestIntervalOps:
+    def setup_method(self):
+        mp.prec = 80
+
+    def test_add_encloses(self):
+        out = iadd(Interval.point(0.1), Interval.point(0.2))
+        assert out.contains(mpf(0.1) + mpf(0.2))  # exact sum of the doubles
+
+    def test_sub_orientation(self):
+        out = isub(Interval(0, 1), Interval(0, 1))
+        assert out.lo <= -1 + 1e-9 and out.hi >= 1 - 1e-9
+
+    def test_mul_sign_cases(self):
+        out = imul(Interval(-2, 3), Interval(-5, 1))
+        assert out.contains(-15) and out.contains(10)
+
+    def test_div_by_zero_interval_errs(self):
+        assert idiv(Interval.point(1), Interval(-1, 1)).err
+
+    def test_div_exact_zero_errs(self):
+        assert idiv(Interval.point(1), Interval.point(0)).err
+
+    def test_sqrt_domain(self):
+        assert isqrt(Interval(-1, 1)).err
+        assert not isqrt(Interval(0, 4)).err
+
+    def test_log_domain(self):
+        assert ilog(Interval(-1, 1)).err
+        assert ilog(Interval.point(0)).err
+
+    def test_exp_monotone(self):
+        out = iexp(Interval(0, 1))
+        assert out.contains(1) and out.contains(mpmath.e)
+
+    def test_fabs_straddling(self):
+        out = ifabs(Interval(-3, 2))
+        assert out.lo == 0 and out.contains(3)
+
+    def test_sin_width_clamps(self):
+        out = isin(Interval(0, 100))
+        assert out.lo == -1 and out.hi == 1
+
+    def test_sin_includes_max(self):
+        out = isin(Interval(1, 2))  # contains pi/2
+        assert out.hi == 1
+
+    def test_sin_narrow(self):
+        out = isin(Interval.point(0.5))
+        assert out.contains(mpmath.sin(mpf("0.5")))
+        assert out.width() < mpf(2) ** -60
+
+    def test_cos_at_zero(self):
+        out = icos(Interval.point(0))
+        assert out.contains(1)
+
+    def test_tan_asymptote(self):
+        assert itan(Interval(1, 2)).err  # pi/2 inside
+
+    def test_pow_integer_even(self):
+        out = ipow(Interval(-2, 1), Interval.point(2))
+        assert out.lo <= 0 <= out.lo + 1e-9 or out.lo == 0
+        assert out.contains(4)
+
+    def test_pow_negative_base_noninteger_errs(self):
+        assert ipow(Interval(-2, -1), Interval.point(0.5)).err
+
+
+# --- hypothesis: enclosure property over random points ---------------------------------
+
+_reasonable = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@given(_reasonable, _reasonable)
+@settings(max_examples=60, deadline=None)
+def test_interval_mul_encloses_true_product(x, y):
+    mp.prec = 80
+    out = imul(Interval.point(x), Interval.point(y))
+    true = mpf(x) * mpf(y)
+    assert out.err or (out.lo <= true <= out.hi)
+
+
+@given(st.floats(min_value=1e-6, max_value=1e6, allow_nan=False))
+@settings(max_examples=60, deadline=None)
+def test_interval_log_exp_roundtrip_encloses(x):
+    mp.prec = 80
+    out = iexp(ilog(Interval.point(x)))
+    assert out.err or (out.lo <= mpf(x) <= out.hi)
+
+
+class TestRivalEvaluator:
+    def setup_method(self):
+        self.ev = RivalEvaluator()
+
+    def test_correct_rounding_simple(self):
+        assert self.ev.eval(parse_expr("(/ 1 x)"), {"x": 3.0}) == 1 / 3
+
+    def test_correct_rounding_cancellation(self):
+        # The float computation loses everything; the oracle must not.
+        result = self.ev.eval(parse_expr("(- (sqrt (+ x 1)) (sqrt x))"), {"x": 1e20})
+        assert result == pytest.approx(5e-11, rel=1e-12)
+
+    def test_huge_argument_trig(self):
+        result = self.ev.eval(parse_expr("(sin x)"), {"x": 1e10})
+        assert result == pytest.approx(math.sin(1e10), abs=0)
+
+    def test_domain_error(self):
+        with pytest.raises(DomainError):
+            self.ev.eval(parse_expr("(log x)"), {"x": -2.0})
+
+    def test_division_by_exact_zero(self):
+        with pytest.raises(DomainError):
+            self.ev.eval(parse_expr("(/ 1 x)"), {"x": 0.0})
+
+    def test_overflow_to_inf(self):
+        assert self.ev.eval(parse_expr("(exp x)"), {"x": 1000.0}) == math.inf
+
+    def test_binary32_rounding(self):
+        import numpy as np
+
+        out = self.ev.eval(parse_expr("(/ 1 x)"), {"x": 3.0}, ty="binary32")
+        assert out == float(np.float32(1.0) / np.float32(3.0))
+
+    def test_if_branch_selection(self):
+        expr = parse_expr("(if (< x 0) (- x) x)")
+        assert self.ev.eval(expr, {"x": -4.0}) == 4.0
+        assert self.ev.eval(expr, {"x": 4.0}) == 4.0
+
+    def test_eval_bool(self):
+        assert self.ev.eval_bool(parse_expr("(and (< 0 x) (< x 1))"), {"x": 0.5})
+        assert not self.ev.eval_bool(parse_expr("(< x 0)"), {"x": 0.5})
+
+    def test_defined_at(self):
+        expr = parse_expr("(sqrt x)")
+        assert self.ev.defined_at(expr, {"x": 4.0})
+        assert not self.ev.defined_at(expr, {"x": -4.0})
+
+    def test_constants(self):
+        assert self.ev.eval(parse_expr("PI"), {}) == math.pi
+        assert self.ev.eval(parse_expr("(exp 1)"), {}) == math.e
+
+    def test_rational_literal(self):
+        assert self.ev.eval(parse_expr("(+ x 1/3)"), {"x": 0.0}) == 1 / 3
+
+    @given(st.floats(min_value=0.01, max_value=100, allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_libm_within_one_ulp(self, x):
+        """The oracle agrees with (correctly-rounded-ish) libm closely."""
+        from repro.accuracy import ulps_between
+
+        oracle = self.ev.eval(parse_expr("(log x)"), {"x": x})
+        assert ulps_between(oracle, math.log(x)) <= 1
