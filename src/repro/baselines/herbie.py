@@ -127,13 +127,17 @@ def herbie_frontier_on_target(
     target: Target,
     samples: SampleSet,
     config: CompileConfig | None = None,
+    ir_frontier: ParetoFrontier | None = None,
 ) -> tuple[ParetoFrontier, dict[str, int]]:
     """Herbie's outputs lowered to ``target`` and test-scored.
 
     Returns the frontier plus counts of how each output was handled
-    ({"transcribe": n, "desugar": n, "discard": n}).
+    ({"transcribe": n, "desugar": n, "discard": n}).  ``ir_frontier``
+    lets callers lowering one benchmark onto many targets reuse a single
+    :func:`run_herbie` result (the IR frontier is target-independent).
     """
-    ir_frontier = run_herbie(core, samples, config)
+    if ir_frontier is None:
+        ir_frontier = run_herbie(core, samples, config)
     stats = {"transcribe": 0, "desugar": 0, "discard": 0}
     frontier = ParetoFrontier()
     for candidate in ir_frontier:

@@ -1,12 +1,13 @@
 """Benchmark corpus: curated Herbie-style FPCores plus a seeded generator."""
 
 from .generator import generate_core, generate_suite
-from .suite import core_named, curated_suite, suite
+from .suite import core_named, curated_suite, suite, suite_names
 
 __all__ = [
     "curated_suite",
     "core_named",
     "suite",
+    "suite_names",
     "generate_core",
     "generate_suite",
 ]

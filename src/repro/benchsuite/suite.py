@@ -15,12 +15,31 @@ def curated_suite() -> tuple[FPCore, ...]:
     return tuple(parse_fpcores(corpus_sources()))
 
 
+@lru_cache(maxsize=1)
+def _suite_index() -> dict[str, FPCore]:
+    """Name -> benchmark index (batch jobs look benchmarks up by the
+    hundreds, so linear scans add up)."""
+    index: dict[str, FPCore] = {}
+    for core in curated_suite():
+        prop_name = core.properties.get("name")
+        if isinstance(prop_name, str) and prop_name not in index:
+            index[prop_name] = core
+        if core.name and core.name not in index:
+            index[core.name] = core
+    return index
+
+
 def core_named(name: str) -> FPCore:
     """Look up one curated benchmark by its FPCore identifier."""
-    for core in curated_suite():
-        if core.name == name or core.properties.get("name") == name:
-            return core
-    raise KeyError(name)
+    try:
+        return _suite_index()[name]
+    except KeyError:
+        raise KeyError(name) from None
+
+
+def suite_names() -> list[str]:
+    """Every benchmark name in the curated corpus, in suite order."""
+    return [core.name for core in curated_suite() if core.name]
 
 
 def suite(

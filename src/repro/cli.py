@@ -3,7 +3,9 @@
 Commands:
 
 * ``compile`` — compile FPCore source for a target, print the Pareto
-  frontier (optionally as target-language code).
+  frontier (optionally as target-language code or ``--json``).
+* ``batch``  — compile many benchmarks x targets through the batch
+  service: parallel workers, persistent result cache, JSONL report.
 * ``targets`` — list the built-in target descriptions (the figure 6 table).
 * ``sample`` — sample valid inputs for an FPCore and report acceptance.
 * ``score``  — score a float program's accuracy against the oracle.
@@ -14,6 +16,8 @@ Examples::
     python -m repro compile --target fdlibm --iterations 2 bench.fpcore
     echo '(FPCore (x) :pre (< 0.001 x 0.999) (log (+ 1 x)))' | \
         python -m repro compile --target c99 -
+    python -m repro batch --suite 8 --targets c99,fdlibm --jobs 4 \
+        --cache-dir .repro-cache --report report.jsonl
 """
 
 from __future__ import annotations
@@ -40,12 +44,17 @@ def _read_cores(source: str, known_ops=None):
         try:
             with open(source) as handle:
                 text = handle.read()
-        except FileNotFoundError:
-            # Allow naming a built-in benchmark directly.
+        except OSError:  # not a readable file: try as a benchmark name
             try:
                 return [core_named(source)]
             except KeyError:
-                raise SystemExit(f"no such file or benchmark: {source}")
+                from .benchsuite import suite_names
+
+                known = ", ".join(suite_names()[:8])
+                raise SystemExit(
+                    f"no such file or benchmark: {source} "
+                    f"(suite starts: {known}, ...)"
+                ) from None
     return parse_fpcores(text, known_ops)
 
 
@@ -87,8 +96,32 @@ def _cmd_compile(args) -> int:
         try:
             result = compile_fpcore(core, target, config, sample_config)
         except Exception as error:  # surface per-core failures, keep going
-            print(f"{label}: FAILED ({type(error).__name__}: {error})")
+            if args.json:
+                import json
+
+                print(json.dumps({
+                    "benchmark": label,
+                    "target": target.name,
+                    "status": "failed",
+                    "error_type": type(error).__name__,
+                    "error": str(error),
+                }))
+            else:
+                print(f"{label}: FAILED ({type(error).__name__}: {error})")
             status = 1
+            continue
+        if args.json:
+            import json
+
+            from .service.results import result_to_dict
+
+            payload = result_to_dict(result)
+            # Match the failed-row shape (joinable on "benchmark") and drop
+            # nondeterministic / bulky fields from the machine output.
+            payload = {"benchmark": label, "status": "ok", **payload}
+            payload.pop("samples", None)
+            payload.pop("elapsed", None)
+            print(json.dumps(payload))
             continue
         elapsed = time.monotonic() - start
         print(f"{label} on {target.name} ({elapsed:.1f}s):")
@@ -110,6 +143,12 @@ def _cmd_compile(args) -> int:
                 )
                 print(f"    {shown}")
     return status
+
+
+def _cmd_batch(args) -> int:
+    from .service.batch import cmd_batch
+
+    return cmd_batch(args)
 
 
 def _cmd_sample(args) -> int:
@@ -174,7 +213,54 @@ def build_parser() -> argparse.ArgumentParser:
     p_compile.add_argument("--seed", type=int, default=20250401)
     p_compile.add_argument("--code", action="store_true", help="emit target-language code")
     p_compile.add_argument("--infix", action="store_true", help="print programs in infix form")
+    p_compile.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one machine-readable JSON object per benchmark",
+    )
     p_compile.set_defaults(fn=_cmd_compile)
+
+    p_batch = sub.add_parser(
+        "batch",
+        help="compile many benchmarks x targets (parallel, cached)",
+    )
+    p_batch.add_argument(
+        "input",
+        nargs="*",
+        help="FPCore files or benchmark names (default: the built-in suite)",
+    )
+    p_batch.add_argument(
+        "--suite",
+        type=int,
+        default=None,
+        metavar="N",
+        help="take the first N built-in benchmarks (when no inputs are named)",
+    )
+    p_batch.add_argument(
+        "--targets",
+        default="c99",
+        help="comma-separated target names (default: c99)",
+    )
+    p_batch.add_argument("--jobs", type=int, default=1, help="worker processes")
+    p_batch.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent result cache directory (omit to disable caching)",
+    )
+    p_batch.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-job compile timeout in seconds",
+    )
+    p_batch.add_argument("--report", help="write a JSONL report to this path")
+    p_batch.add_argument("--iterations", type=int, default=2)
+    p_batch.add_argument("--points", type=int, default=48)
+    p_batch.add_argument("--seed", type=int, default=20250401)
+    p_batch.add_argument(
+        "--quiet", action="store_true", help="suppress per-job progress lines"
+    )
+    p_batch.set_defaults(fn=_cmd_batch)
 
     p_sample = sub.add_parser("sample", help="sample valid inputs for an FPCore")
     p_sample.add_argument("input")

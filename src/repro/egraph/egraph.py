@@ -22,7 +22,10 @@ class EClass:
 
     def __init__(self, class_id: int):
         self.id = class_id
-        self.nodes: set[ENode] = set()
+        # Insertion-ordered (dict keys, values unused): e-node iteration
+        # order reaches extraction tie-breaks, and set order would vary
+        # with per-process string-hash randomization.
+        self.nodes: dict[ENode, None] = {}
         self.parents: list[tuple[ENode, int]] = []
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -55,8 +58,8 @@ class EGraph:
     def eclass(self, class_id: int) -> EClass:
         return self._classes[self.find(class_id)]
 
-    def nodes_of(self, class_id: int) -> frozenset[ENode]:
-        return frozenset(self.eclass(class_id).nodes)
+    def nodes_of(self, class_id: int) -> tuple[ENode, ...]:
+        return tuple(self.eclass(class_id).nodes)
 
     def find(self, class_id: int) -> int:
         """Canonical id of the class containing ``class_id``."""
@@ -80,7 +83,7 @@ class EGraph:
             return self._uf.find(existing)
         class_id = self._uf.make_set()
         eclass = EClass(class_id)
-        eclass.nodes.add(node)
+        eclass.nodes[node] = None
         self._classes[class_id] = eclass
         self._hashcons[node] = class_id
         for arg in node[1]:
@@ -151,7 +154,7 @@ class EGraph:
             self._hashcons[canon] = self._uf.find(class_id)
         class_id = self._uf.find(class_id)
         eclass = self._classes[class_id]
-        eclass.nodes = {self.canonicalize(n) for n in eclass.nodes}
+        eclass.nodes = {self.canonicalize(n): None for n in eclass.nodes}
         # Repair and deduplicate parent back-references; congruent parents
         # (same canonical node in two classes) are merged.
         seen: dict[ENode, int] = {}

@@ -24,10 +24,12 @@ which is exactly the information regime of the paper (figure 10).
 from __future__ import annotations
 
 import math
+import zlib
 from typing import Mapping
 
 from ..fpeval.machine import _COMPARISONS, round_literal
 from ..ir.expr import App, Const, Expr, Num, Var
+from ..ir.printer import expr_to_sexpr
 from ..ir.types import F64
 from ..targets.target import VECTOR, Target
 
@@ -45,9 +47,20 @@ def _is_denormal(value: float) -> bool:
     return value != 0.0 and abs(value) < _MIN_NORMAL_F64
 
 
+def stable_key_hash(key: tuple) -> int:
+    """32-bit digest of a key tuple, identical in every process and run.
+
+    Builtin ``hash()`` must not be used here: string hashing is randomized
+    per interpreter, so worker processes and repeated runs would disagree
+    on "deterministic" timings — breaking both cache correctness and
+    serial-vs-parallel report equality.
+    """
+    return zlib.crc32(repr(key).encode("utf-8")) & 0xFFFFFFFF
+
+
 def _jitter(key: tuple, spread: float = 0.05) -> float:
     """Deterministic multiplicative noise in [1-spread, 1+spread]."""
-    h = hash(key) & 0xFFFFFFFF
+    h = stable_key_hash(key)
     return 1.0 - spread + 2.0 * spread * (h / 0xFFFFFFFF)
 
 
@@ -78,7 +91,7 @@ class PerfSimulator:
             _value, cost_sum, cost_path = self._eval(expr, point, ty, index)
             total += cost_path + serial * (cost_sum - cost_path)
         mean = total / len(points)
-        return mean * _jitter(("program", self.target.name, hash(expr)), 0.08)
+        return mean * _jitter(("program", self.target.name, expr_to_sexpr(expr)), 0.08)
 
     def _serial_fraction(self) -> float:
         """How serialized execution is: ~0 = perfect ILP, 1 = interpreter."""

@@ -1,0 +1,39 @@
+"""Batch compilation service: persistent result cache + parallel scheduler.
+
+The production-facing subsystem layered over the single-benchmark compiler
+(:func:`repro.core.chassis.compile_fpcore`):
+
+* :mod:`repro.service.cache`     — content-addressed persistent cache
+* :mod:`repro.service.results`   — JSON round-trip of CompileResult
+* :mod:`repro.service.scheduler` — multiprocessing job scheduler
+* :mod:`repro.service.api`       — the :func:`compile_many` facade
+* :mod:`repro.service.batch`     — the ``repro batch`` CLI command
+"""
+
+from .api import compile_many, iter_ok_results
+from .cache import (
+    CacheStats,
+    CompileCache,
+    config_fingerprint,
+    core_fingerprint,
+    job_fingerprint,
+    target_fingerprint,
+)
+from .results import result_from_dict, result_to_dict
+from .scheduler import BatchJob, BatchScheduler, JobOutcome
+
+__all__ = [
+    "compile_many",
+    "iter_ok_results",
+    "CompileCache",
+    "CacheStats",
+    "core_fingerprint",
+    "target_fingerprint",
+    "config_fingerprint",
+    "job_fingerprint",
+    "result_to_dict",
+    "result_from_dict",
+    "BatchJob",
+    "BatchScheduler",
+    "JobOutcome",
+]

@@ -1,0 +1,173 @@
+"""The batch compilation facade: one entry point for every experiment.
+
+:func:`compile_many` is what the CLI's ``repro batch`` command and all the
+figure-reproduction runners call.  It layers the persistent cache under the
+parallel scheduler:
+
+1. every job is fingerprinted and looked up in the cache (parent process,
+   so hit/miss stats are centralized and workers stay cache-free);
+2. misses are fanned out over the worker pool (or run inline for
+   ``jobs=1`` and for targets not resolvable from the registry by name —
+   custom targets hold unpicklable closures);
+3. fresh results are stored back, and every ok outcome carries both the
+   JSON payload (for reports) and the deserialized
+   :class:`~repro.core.chassis.CompileResult` (for re-scoring).
+
+Cached and freshly-compiled outcomes are indistinguishable apart from the
+``cached`` flag: both are round-tripped through the same serialization, so
+a warm run reproduces a cold run's report byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..accuracy.sampler import SampleConfig
+from ..core.loop import CompileConfig
+from ..ir.fpcore import FPCore
+from ..targets import get_target
+from ..targets.target import Target
+from .cache import CompileCache, job_fingerprint, target_fingerprint
+from .results import core_to_source, result_from_dict
+from .scheduler import BatchJob, BatchScheduler, JobOutcome, _worker_init, run_job
+
+#: A unit of requested work: a benchmark plus a target (object or name).
+JobSpec = "tuple[FPCore, Target | str]"
+
+
+def _resolve_target(target: Target | str) -> Target:
+    return get_target(target) if isinstance(target, str) else target
+
+
+def _poolable(target: Target) -> bool:
+    """A job can cross process boundaries only if the worker can rebuild
+    exactly the same target from the registry by name."""
+    try:
+        registered = get_target(target.name)
+    except (KeyError, ValueError):
+        return False
+    return registered is target or target_fingerprint(registered) == target_fingerprint(
+        target
+    )
+
+
+def compile_many(
+    specs: Sequence["tuple[FPCore, Target | str]"],
+    config: CompileConfig | None = None,
+    sample_config: SampleConfig | None = None,
+    jobs: int = 1,
+    cache: CompileCache | str | None = None,
+    timeout: float | None = None,
+    progress=None,
+) -> list[JobOutcome]:
+    """Compile many (benchmark, target) pairs; returns outcomes in order.
+
+    A spec is ``(core, target)`` or ``(core, target, samples)`` — the
+    optional :class:`~repro.accuracy.sampler.SampleSet` skips per-job
+    sampling and MUST equal what ``sample_core(core, sample_config)``
+    would produce (samples are seeded, so precomputing them is purely an
+    optimization; the cache fingerprint assumes this equality).
+
+    ``cache`` may be a :class:`CompileCache` or a directory path; ``None``
+    disables caching.  ``jobs`` is the worker-pool width; ``timeout``
+    bounds each individual compilation in seconds.
+    """
+    config = config or CompileConfig()
+    sample_config = sample_config or SampleConfig()
+    if timeout is not None and timeout <= 0:
+        raise ValueError(f"timeout must be positive, got {timeout}")
+    if isinstance(cache, str):
+        cache = CompileCache(cache)
+
+    resolved: list[tuple[FPCore, Target, str, object]] = []
+    for spec in specs:
+        core, target = spec[0], _resolve_target(spec[1])
+        samples = spec[2] if len(spec) > 2 else None
+        resolved.append(
+            (core, target, job_fingerprint(core, target, config, sample_config), samples)
+        )
+
+    outcomes: list[JobOutcome | None] = [None] * len(resolved)
+    pool_batch: list[BatchJob] = []
+    inline_jobs: list[tuple[int, BatchJob, Target]] = []
+    targets_by_index: dict[int, Target] = {}
+
+    for index, (core, target, fingerprint, samples) in enumerate(resolved):
+        targets_by_index[index] = target
+        if cache is not None:
+            payload = cache.get(fingerprint)
+            if payload is not None:
+                outcomes[index] = JobOutcome(
+                    index=index,
+                    benchmark=core.name or "<anonymous>",
+                    target=target.name,
+                    status="ok",
+                    fingerprint=fingerprint,
+                    cached=True,
+                    payload=payload,
+                )
+                if progress is not None:
+                    progress({
+                        "index": index,
+                        "benchmark": core.name or "<anonymous>",
+                        "target": target.name,
+                        "status": "ok",
+                        "cached": True,
+                        "error_type": "",
+                        "error": "",
+                        "elapsed": 0.0,
+                    })
+                continue
+        job = BatchJob(index, core_to_source(core), target.name, samples=samples)
+        if _poolable(target):
+            pool_batch.append(job)
+        else:
+            inline_jobs.append((index, job, target))
+
+    raw: list[dict] = []
+    if pool_batch:
+        scheduler = BatchScheduler(jobs=jobs, timeout=timeout)
+        raw.extend(scheduler.run(pool_batch, config, sample_config, progress))
+    if inline_jobs:
+        _worker_init(config, sample_config, timeout)
+        for _index, job, target in inline_jobs:
+            outcome = run_job(job, target=target)
+            if progress is not None:
+                progress(outcome)
+            raw.append(outcome)
+
+    for outcome_dict in raw:
+        index = outcome_dict["index"]
+        core, target, fingerprint, _samples = resolved[index]
+        outcome = JobOutcome(
+            index=index,
+            # Label from the parent's core, not the worker's re-parse, so
+            # cold and warm (cache-hit) runs agree on benchmark identity.
+            benchmark=core.name or "<anonymous>",
+            target=outcome_dict["target"],
+            status=outcome_dict["status"],
+            fingerprint=fingerprint,
+            cached=False,
+            elapsed=outcome_dict["elapsed"],
+            error_type=outcome_dict["error_type"],
+            error=outcome_dict["error"],
+            payload=outcome_dict["payload"],
+        )
+        if outcome.ok and cache is not None:
+            cache.put(fingerprint, outcome.payload)
+        outcomes[index] = outcome
+
+    final: list[JobOutcome] = []
+    for index, outcome in enumerate(outcomes):
+        assert outcome is not None, f"job {index} produced no outcome"
+        if outcome.ok and outcome.payload is not None:
+            outcome.result = result_from_dict(outcome.payload, targets_by_index[index])
+        final.append(outcome)
+    return final
+
+
+def iter_ok_results(outcomes: Iterable[JobOutcome]):
+    """Yield (outcome, CompileResult) for every successful job."""
+    for outcome in outcomes:
+        if outcome.ok and outcome.result is not None:
+            yield outcome, outcome.result

@@ -1,0 +1,147 @@
+"""``repro batch``: batched, parallel, cached compilation from the CLI.
+
+Selects benchmarks (a file, named benchmarks, or a slice of the built-in
+suite) and targets, fans the cross product through
+:func:`repro.service.api.compile_many`, prints a per-job progress line plus
+cache statistics, and optionally writes a JSONL report.
+
+Report lines deliberately exclude wall-clock times and cache flags so that
+``--jobs 1`` and ``--jobs N`` runs — and cold and warm runs — produce
+byte-identical reports (the determinism contract the tests pin down).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from ..accuracy.sampler import SampleConfig
+from ..benchsuite import suite
+from ..core.loop import CompileConfig
+from ..ir.fpcore import FPCore
+from ..targets import TARGET_NAMES
+from .api import compile_many
+from .cache import CompileCache
+from .scheduler import JobOutcome
+
+
+def select_cores(args) -> list[FPCore]:
+    """Resolve the benchmark selection flags into a list of FPCores."""
+    if args.input:
+        from ..cli import _read_cores
+
+        cores: list[FPCore] = []
+        for name_or_path in args.input:
+            cores.extend(_read_cores(name_or_path))
+        return cores
+    return suite(max_benchmarks=args.suite)
+
+
+def select_targets(args) -> list[str]:
+    """Resolve --targets into registry names (validated here, built later)."""
+    names = [t.strip() for t in args.targets.split(",") if t.strip()]
+    for name in names:
+        if name not in TARGET_NAMES:
+            raise SystemExit(
+                f"unknown target {name!r}; available: {', '.join(TARGET_NAMES)}"
+            )
+    return names
+
+
+def report_line(outcome: JobOutcome) -> dict:
+    """One deterministic JSONL report row (no timings, no cache flags)."""
+    row = {
+        "benchmark": outcome.benchmark,
+        "target": outcome.target,
+        "fingerprint": outcome.fingerprint,
+        "status": outcome.status,
+    }
+    if outcome.status != "ok":
+        row["error_type"] = outcome.error_type
+        row["error"] = outcome.error
+        return row
+    payload = outcome.payload or {}
+    row["input"] = _entry(payload.get("input", {}))
+    row["frontier"] = [_entry(c) for c in payload.get("frontier", [])]
+    return row
+
+
+def _entry(candidate: dict) -> dict:
+    return {
+        "program": candidate.get("program", ""),
+        "cost": candidate.get("cost", 0.0),
+        "error": candidate.get("error", 0.0),
+        "origin": candidate.get("origin", ""),
+    }
+
+
+def cmd_batch(args) -> int:
+    """Entry point for the ``repro batch`` subcommand."""
+    if args.timeout is not None and args.timeout <= 0:
+        raise SystemExit("--timeout must be positive (seconds)")
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be >= 1")
+    cores = select_cores(args)
+    target_names = select_targets(args)
+    specs = [(core, name) for name in target_names for core in cores]
+    if not specs:
+        raise SystemExit("nothing to compile: empty benchmark or target selection")
+
+    config = CompileConfig(iterations=args.iterations)
+    sample_config = SampleConfig(
+        n_train=args.points, n_test=args.points, seed=args.seed
+    )
+    cache = CompileCache(args.cache_dir) if args.cache_dir else None
+
+    def progress(outcome: dict) -> None:
+        if not args.quiet:
+            status = outcome["status"]
+            note = "" if status == "ok" else f" ({outcome['error_type']})"
+            timing = "cached" if outcome.get("cached") else f"{outcome['elapsed']:.1f}s"
+            print(
+                f"  {outcome['benchmark']} on {outcome['target']}: "
+                f"{status}{note} [{timing}]",
+                file=sys.stderr,
+            )
+
+    print(
+        f"batch: {len(specs)} jobs "
+        f"({len(cores)} benchmarks x {len(target_names)} targets, "
+        f"--jobs {args.jobs})",
+        file=sys.stderr,
+    )
+    outcomes = compile_many(
+        specs,
+        config=config,
+        sample_config=sample_config,
+        jobs=args.jobs,
+        cache=cache,
+        timeout=args.timeout,
+        progress=progress,
+    )
+
+    counts = {"ok": 0, "failed": 0, "timeout": 0}
+    compiled = cached = 0
+    for outcome in outcomes:
+        counts[outcome.status] = counts.get(outcome.status, 0) + 1
+        if outcome.cached:
+            cached += 1
+        elif outcome.ok:
+            compiled += 1
+
+    if args.report:
+        with open(args.report, "w") as handle:
+            for outcome in outcomes:
+                handle.write(json.dumps(report_line(outcome)) + "\n")
+        print(f"report: {args.report} ({len(outcomes)} lines)", file=sys.stderr)
+
+    summary = (
+        f"ok={counts['ok']} failed={counts['failed']} "
+        f"timeout={counts['timeout']} compiled={compiled} cached={cached}"
+    )
+    print(summary)
+    if cache is not None:
+        print(f"cache: {cache.stats}")
+    # Per-job failures are data (the paper's removal protocol), but a batch
+    # where *nothing* succeeded is an operational failure.
+    return 0 if counts["ok"] else 1

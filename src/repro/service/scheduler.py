@@ -1,0 +1,238 @@
+"""Parallel job scheduler: fan (benchmark, target) jobs over worker processes.
+
+Jobs cross the process boundary as plain data — FPCore source text plus a
+target *name* — because targets hold synthesized implementation closures
+that cannot be pickled.  Workers re-resolve the target from the registry,
+compile, and return the serialized result payload (the
+:mod:`repro.service.results` layout), so the parent never has to unpickle
+foreign objects and pool results are byte-identical to what the cache
+stores.
+
+Guarantees:
+
+* **Deterministic ordering** — outcomes are returned sorted by job index
+  regardless of completion order.
+* **Failure capture** — :class:`~repro.core.transcribe.Untranscribable` and
+  :class:`~repro.accuracy.sampler.SamplingError` are recorded per job (the
+  paper's protocol removes such pairs; callers decide), never swallowed and
+  never fatal to the batch.
+* **Per-job timeouts** — enforced *inside* the worker via ``SIGALRM`` so a
+  hung compilation frees its pool slot instead of wedging the batch.
+* ``jobs=1`` runs inline in the calling process through the exact same
+  job function, so serial and parallel runs produce identical reports.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import signal
+import threading
+from dataclasses import dataclass, field
+
+from ..accuracy.sampler import SampleConfig, SamplingError
+from ..core.chassis import compile_fpcore
+from ..core.loop import CompileConfig
+from ..core.transcribe import Untranscribable
+from ..ir.fpcore import parse_fpcore
+from ..targets import get_target
+from .results import result_to_dict
+
+#: Exceptions that mean "this (benchmark, target) pair is infeasible", as
+#: opposed to a bug; both are captured either way.
+EXPECTED_FAILURES = (Untranscribable, SamplingError)
+
+
+class JobTimeout(BaseException):
+    """A single compilation exceeded its time budget.
+
+    Derives from BaseException on purpose: the sampler and e-graph code
+    use broad ``except Exception`` guards around per-point evaluation,
+    which would otherwise swallow the alarm and let a timed-out job run
+    to completion.
+    """
+
+
+@dataclass(frozen=True)
+class BatchJob:
+    """One unit of schedulable work, picklable by construction."""
+
+    index: int
+    core_source: str
+    target_name: str
+    #: Pre-computed samples (an optimization for batches where one
+    #: benchmark appears under many targets).  MUST equal what
+    #: ``sample_core(core, sample_config)`` would produce — the cache
+    #: fingerprint assumes samples are a pure function of those two.
+    samples: object | None = None
+
+
+@dataclass
+class JobOutcome:
+    """What happened to one job (rebuilt in the parent, ordered by index)."""
+
+    index: int
+    benchmark: str
+    target: str
+    status: str  # "ok" | "failed" | "timeout"
+    fingerprint: str = ""
+    cached: bool = False
+    elapsed: float = 0.0
+    error_type: str = ""
+    error: str = ""
+    #: Serialized CompileResult (see service.results) when status == "ok".
+    payload: dict | None = None
+    #: Deserialized result, attached by the api facade for ok outcomes.
+    result: object | None = field(default=None, repr=False)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+# Worker-process state, set once per worker by the pool initializer.
+_WORKER_STATE: dict = {}
+
+
+def _worker_init(config: CompileConfig, sample_config: SampleConfig, timeout: float | None):
+    _WORKER_STATE["config"] = config
+    _WORKER_STATE["sample_config"] = sample_config
+    _WORKER_STATE["timeout"] = timeout
+
+
+def _alarm_handler(_signum, _frame):
+    raise JobTimeout()
+
+
+def run_job(job: BatchJob, target=None) -> dict:
+    """Compile one job; returns a JSON-able outcome dict.
+
+    Runs in a worker process (or inline for serial batches); must only
+    touch picklable/JSON-able data at its boundary.  ``target`` may be
+    passed pre-resolved for inline execution of non-registry targets.
+    """
+    import time
+
+    config: CompileConfig = _WORKER_STATE["config"]
+    sample_config: SampleConfig = _WORKER_STATE["sample_config"]
+    timeout: float | None = _WORKER_STATE.get("timeout")
+
+    if target is None:
+        target = get_target(job.target_name)
+    core = parse_fpcore(job.core_source, known_ops=set(target.operators))
+    outcome = {
+        "index": job.index,
+        "benchmark": core.name or "<anonymous>",
+        "target": target.name,
+        "status": "ok",
+        "error_type": "",
+        "error": "",
+        "payload": None,
+        "elapsed": 0.0,
+    }
+
+    # SIGALRM only works in the main thread; off-main-thread callers (e.g.
+    # a notebook executor driving compile_many inline) run unbounded rather
+    # than crashing in signal.signal.
+    use_alarm = (
+        timeout is not None
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if use_alarm:
+        previous = signal.signal(signal.SIGALRM, _alarm_handler)
+        signal.setitimer(signal.ITIMER_REAL, timeout)
+    start = time.monotonic()
+    result = None
+    try:
+        try:
+            result = compile_fpcore(
+                core, target, config, sample_config, samples=job.samples
+            )
+        except EXPECTED_FAILURES as error:
+            outcome["status"] = "failed"
+            outcome["error_type"] = type(error).__name__
+            outcome["error"] = str(error)
+        except Exception as error:  # genuine bugs still must not kill the batch
+            outcome["status"] = "failed"
+            outcome["error_type"] = type(error).__name__
+            outcome["error"] = str(error)
+        finally:
+            if use_alarm:
+                signal.setitimer(signal.ITIMER_REAL, 0.0)
+                signal.signal(signal.SIGALRM, previous)
+    except JobTimeout:
+        # The alarm may fire anywhere in the region above — mid-compile,
+        # inside an except handler, or even inside the finally before the
+        # disarm completes — so the timeout is caught out here, after the
+        # finally has run, and the job is recorded rather than the whole
+        # batch dying on an escaped BaseException.
+        outcome["status"] = "timeout"
+        outcome["error_type"] = "JobTimeout"
+        outcome["error"] = f"exceeded {timeout}s"
+        outcome["payload"] = None
+        result = None
+        if use_alarm:  # idempotent re-disarm in case finally was interrupted
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+    outcome["elapsed"] = time.monotonic() - start
+    if result is not None:
+        outcome["payload"] = result_to_dict(result)
+    return outcome
+
+
+def _pool_context():
+    """Prefer fork (workers inherit the parent's hash seed and imports)."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+class BatchScheduler:
+    """Runs batches of compile jobs with a bounded worker pool."""
+
+    def __init__(self, jobs: int = 1, timeout: float | None = None):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if timeout is not None and timeout <= 0:
+            # setitimer(0) would silently *disarm* the alarm.
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        self.jobs = jobs
+        self.timeout = timeout
+
+    def run(
+        self,
+        batch: list[BatchJob],
+        config: CompileConfig | None = None,
+        sample_config: SampleConfig | None = None,
+        progress=None,
+    ) -> list[dict]:
+        """Execute every job; returns outcome dicts sorted by job index.
+
+        ``progress``, when given, is called with each outcome dict as it
+        completes (pool order — not deterministic; the return value is).
+        """
+        config = config or CompileConfig()
+        sample_config = sample_config or SampleConfig()
+        outcomes: list[dict] = []
+        if self.jobs == 1 or len(batch) <= 1:
+            _worker_init(config, sample_config, self.timeout)
+            for job in batch:
+                outcome = run_job(job)
+                if progress is not None:
+                    progress(outcome)
+                outcomes.append(outcome)
+        else:
+            context = _pool_context()
+            workers = min(self.jobs, len(batch))
+            with context.Pool(
+                processes=workers,
+                initializer=_worker_init,
+                initargs=(config, sample_config, self.timeout),
+            ) as pool:
+                for outcome in pool.imap_unordered(run_job, batch):
+                    if progress is not None:
+                        progress(outcome)
+                    outcomes.append(outcome)
+        outcomes.sort(key=lambda o: o["index"])
+        return outcomes

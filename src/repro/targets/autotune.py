@@ -12,6 +12,8 @@ our auto-tuned costs the same character (visible in the figure 10 scatter).
 
 from __future__ import annotations
 
+import zlib
+
 from .target import Target
 
 #: Benign magnitudes used for hot-loop measurement inputs.
@@ -32,7 +34,10 @@ def autotune_costs(target: Target, rounds: int = 8) -> dict[str, float]:
     costs: dict[str, float] = {}
     for name, op in target.operators.items():
         probes = [_probe_args(op, i) for i in range(rounds)]
-        measured = simulator.operator_run_time(name, probes, index0=hash(name) % 97)
+        # Stable digest, not hash(): per-process string-hash randomization
+        # would give every worker process different auto-tuned costs.
+        salt = zlib.crc32(name.encode("utf-8")) % 97
+        measured = simulator.operator_run_time(name, probes, index0=salt)
         costs[name] = max(0.5, round(measured, 1))
     return costs
 
