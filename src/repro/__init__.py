@@ -5,26 +5,33 @@ of floating-point programs specialized to a *target description*: a list of
 operators, each relating a floating-point instruction to the real expression
 it approximates, with cost and accuracy information.
 
-Quickstart::
+Quickstart (the curated surface lives in :mod:`repro.api`)::
 
-    from repro import parse_fpcore, get_target, compile_fpcore
+    from repro.api import ChassisSession
 
-    core = parse_fpcore("(FPCore (x) :pre (< 0.001 x 0.999) "
-                        "(* 1/2 (log (/ (+ 1 x) (- 1 x)))))")
-    result = compile_fpcore(core, get_target("fdlibm"))
+    with ChassisSession() as session:
+        result = session.compile(
+            "(FPCore (x) :pre (< 0.001 x 0.999) "
+            "(* 1/2 (log (/ (+ 1 x) (- 1 x)))))",
+            "fdlibm",
+        )
     for candidate in result.frontier:
         print(candidate.cost, candidate.error, candidate.program)
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-vs-measured record of every reproduced table and figure.
+The historical one-shot ``compile_fpcore`` remains importable as a
+deprecated shim.  See DESIGN.md for the system inventory and
+EXPERIMENTS.md for the paper-vs-measured record of every reproduced table
+and figure.
 """
 
 from .accuracy import SampleConfig, bits_of_error, sample_core, score_program
 from .core import (
     Candidate,
     CompileConfig,
+    CompilePipeline,
     CompileResult,
     ParetoFrontier,
+    compile_core,
     compile_fpcore,
     instruction_select,
     render,
@@ -32,6 +39,7 @@ from .core import (
 )
 from .ir import FPCore, parse_expr, parse_fpcore, parse_fpcores
 from .perf import PerfSimulator
+from .session import ChassisSession, JobHandle
 from .targets import Target, all_targets, get_target, opdef
 
 __version__ = "1.0.0"
@@ -46,8 +54,12 @@ __all__ = [
     "get_target",
     "all_targets",
     "opdef",
+    "ChassisSession",
+    "JobHandle",
+    "compile_core",
     "compile_fpcore",
     "CompileConfig",
+    "CompilePipeline",
     "CompileResult",
     "Candidate",
     "ParetoFrontier",

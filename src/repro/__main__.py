@@ -1,5 +1,11 @@
-"""Entry point for ``python -m repro``."""
+"""Entry point for ``python -m repro``.
+
+The ``__name__`` guard matters: multiprocessing start methods that
+re-import ``__main__`` (spawn) must not re-run the CLI in worker
+processes.
+"""
 
 from .cli import main
 
-raise SystemExit(main())
+if __name__ == "__main__":
+    raise SystemExit(main())

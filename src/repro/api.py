@@ -1,0 +1,83 @@
+"""``repro.api`` — the curated public API surface.
+
+Everything a consumer needs, in one import::
+
+    from repro.api import ChassisSession, CompileConfig, SampleConfig
+
+    with ChassisSession(cache=".repro-cache", jobs=4) as session:
+        result = session.compile(core, "c99")
+
+Three layers, smallest first:
+
+* **Session** — :class:`ChassisSession` owns the evaluator, sample cache,
+  persistent result cache and worker pool; :class:`JobHandle` is its
+  async-style submit/poll handle.
+* **Pipeline** — :class:`CompilePipeline` and the :class:`Phase` protocol
+  let callers skip, replace, or instrument the parse → sample →
+  transcribe → improve → regimes → score phases of one compilation.
+* **Service** — the batch engine types (:class:`JobOutcome`,
+  :class:`CompileCache`, ``JobSpec``) and the ``repro serve`` front-end
+  (:func:`serve`, :func:`create_server`).
+
+The historical one-shot entry points ``repro.compile_fpcore`` and
+``repro.service.compile_many`` remain importable as deprecated shims.
+"""
+
+from .accuracy.sampler import SampleConfig, SampleSet, SamplingError
+from .core.loop import CompileConfig
+from .core.pipeline import (
+    PHASE_NAMES,
+    CompilePipeline,
+    CompileResult,
+    Phase,
+    PipelineContext,
+    PipelineError,
+    compile_core,
+    default_phases,
+)
+from .core.transcribe import Untranscribable
+from .ir.fpcore import FPCore, parse_fpcore, parse_fpcores
+from .service.api import JobSpec, run_compile_jobs
+from .service.cache import CompileCache, job_fingerprint
+from .service.scheduler import JobOutcome
+from .service.server import create_server, serve
+from .session import ChassisSession, JobHandle, SessionStats
+from .targets import Target, all_targets, get_target
+
+__all__ = [
+    # session
+    "ChassisSession",
+    "JobHandle",
+    "SessionStats",
+    # pipeline
+    "CompilePipeline",
+    "PipelineContext",
+    "PipelineError",
+    "Phase",
+    "PHASE_NAMES",
+    "default_phases",
+    "compile_core",
+    "CompileResult",
+    "CompileConfig",
+    # sampling
+    "SampleConfig",
+    "SampleSet",
+    "SamplingError",
+    "Untranscribable",
+    # batch service
+    "JobSpec",
+    "JobOutcome",
+    "CompileCache",
+    "job_fingerprint",
+    "run_compile_jobs",
+    # server front-end
+    "serve",
+    "create_server",
+    # IR / targets
+    "FPCore",
+    "parse_fpcore",
+    "parse_fpcores",
+    "Target",
+    "get_target",
+    "all_targets",
+]

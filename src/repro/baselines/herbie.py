@@ -74,14 +74,25 @@ class HerbieOutput:
 
 
 def run_herbie(
-    core: FPCore, samples: SampleSet, config: CompileConfig | None = None
+    core: FPCore,
+    samples: SampleSet,
+    config: CompileConfig | None = None,
+    session=None,
 ) -> ParetoFrontier:
-    """Run the target-agnostic loop; returns Herbie's (IR-level) frontier."""
+    """Run the target-agnostic loop; returns Herbie's (IR-level) frontier.
+
+    With a :class:`~repro.session.ChassisSession`, this is the phase
+    pipeline with the *score* phase skipped (Herbie's frontier is
+    train-scored; test scoring happens after lowering onto real targets),
+    sharing the session's evaluator.
+    """
     if core.precision != F64:
         core = FPCore(
             arguments=core.arguments, body=core.body,
             name=core.name, precision=F64, pre=core.pre,
         )
+    if session is not None:
+        return session.improve(core, herbie_ir_target(), samples=samples, config=config)
     loop = ImprovementLoop(core, herbie_ir_target(), samples, config)
     return loop.run()
 
@@ -128,6 +139,7 @@ def herbie_frontier_on_target(
     samples: SampleSet,
     config: CompileConfig | None = None,
     ir_frontier: ParetoFrontier | None = None,
+    session=None,
 ) -> tuple[ParetoFrontier, dict[str, int]]:
     """Herbie's outputs lowered to ``target`` and test-scored.
 
@@ -137,7 +149,7 @@ def herbie_frontier_on_target(
     :func:`run_herbie` result (the IR frontier is target-independent).
     """
     if ir_frontier is None:
-        ir_frontier = run_herbie(core, samples, config)
+        ir_frontier = run_herbie(core, samples, config, session=session)
     stats = {"transcribe": 0, "desugar": 0, "discard": 0}
     frontier = ParetoFrontier()
     for candidate in ir_frontier:

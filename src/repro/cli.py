@@ -6,9 +6,15 @@ Commands:
   frontier (optionally as target-language code or ``--json``).
 * ``batch``  — compile many benchmarks x targets through the batch
   service: parallel workers, persistent result cache, JSONL report.
+* ``serve``  — long-running JSON-over-HTTP front-end backed by one warm
+  :class:`~repro.session.ChassisSession` (compile/batch/targets/score).
 * ``targets`` — list the built-in target descriptions (the figure 6 table).
 * ``sample`` — sample valid inputs for an FPCore and report acceptance.
 * ``score``  — score a float program's accuracy against the oracle.
+
+Every command that compiles goes through a :class:`ChassisSession`, so one
+invocation shares its evaluator, sample cache and (optional) persistent
+result cache across all its benchmarks.
 
 Examples::
 
@@ -18,22 +24,24 @@ Examples::
         python -m repro compile --target c99 -
     python -m repro batch --suite 8 --targets c99,fdlibm --jobs 4 \
         --cache-dir .repro-cache --report report.jsonl
+    python -m repro serve --port 8080 --cache-dir .repro-cache
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
-from .accuracy.sampler import SampleConfig, sample_core
+from .accuracy.sampler import SampleConfig
 from .benchsuite import core_named
-from .core.chassis import compile_fpcore
 from .core.loop import CompileConfig
 from .core.output import render, to_fpcore
 from .experiments.report import targets_table
 from .ir.fpcore import parse_fpcores
 from .ir.printer import expr_to_infix
+from .session import ChassisSession
 from .targets import TARGET_NAMES, all_targets, get_target
 
 
@@ -85,43 +93,40 @@ def _resolve_target(args):
 
 
 def _cmd_compile(args) -> int:
+    from .service.batch import job_row
+
     target = _resolve_target(args)
-    config = CompileConfig(iterations=args.iterations)
-    sample_config = SampleConfig(n_train=args.points, n_test=args.points, seed=args.seed)
+    session = ChassisSession(
+        config=CompileConfig(iterations=args.iterations),
+        sample_config=SampleConfig(
+            n_train=args.points, n_test=args.points, seed=args.seed
+        ),
+    )
 
     status = 0
     for core in _read_cores(args.input):
         label = core.name or core.properties.get("name", "<anonymous>")
         start = time.monotonic()
         try:
-            result = compile_fpcore(core, target, config, sample_config)
+            result = session.compile(core, target)
         except Exception as error:  # surface per-core failures, keep going
             if args.json:
-                import json
-
-                print(json.dumps({
-                    "benchmark": label,
-                    "target": target.name,
-                    "status": "failed",
-                    "error_type": type(error).__name__,
-                    "error": str(error),
-                }))
+                print(json.dumps(job_row(
+                    label, target.name, "failed",
+                    error_type=type(error).__name__, error=str(error),
+                )))
             else:
                 print(f"{label}: FAILED ({type(error).__name__}: {error})")
             status = 1
             continue
         if args.json:
-            import json
-
             from .service.results import result_to_dict
 
-            payload = result_to_dict(result)
-            # Match the failed-row shape (joinable on "benchmark") and drop
-            # nondeterministic / bulky fields from the machine output.
-            payload = {"benchmark": label, "status": "ok", **payload}
-            payload.pop("samples", None)
-            payload.pop("elapsed", None)
-            print(json.dumps(payload))
+            # The same deterministic row shape the batch report writer emits
+            # (joinable on "benchmark"/"target", no timings or bulky fields).
+            print(json.dumps(job_row(
+                label, target.name, "ok", payload=result_to_dict(result)
+            )))
             continue
         elapsed = time.monotonic() - start
         print(f"{label} on {target.name} ({elapsed:.1f}s):")
@@ -152,9 +157,13 @@ def _cmd_batch(args) -> int:
 
 
 def _cmd_sample(args) -> int:
-    config = SampleConfig(n_train=args.points, n_test=args.points, seed=args.seed)
+    session = ChassisSession(
+        sample_config=SampleConfig(
+            n_train=args.points, n_test=args.points, seed=args.seed
+        )
+    )
     for core in _read_cores(args.input):
-        samples = sample_core(core, config)
+        samples = session.samples_for(core)
         label = core.name or "<anonymous>"
         print(
             f"{label}: {len(samples.train)} train + {len(samples.test)} test "
@@ -168,26 +177,42 @@ def _cmd_sample(args) -> int:
 
 
 def _cmd_score(args) -> int:
-    from .accuracy.scoring import score_program
-    from .ir.parser import parse_expr
-
+    session = ChassisSession(
+        sample_config=SampleConfig(n_train=8, n_test=args.points)
+    )
     target = get_target(args.target)
     for core in _read_cores(args.input):
-        samples = sample_core(core, SampleConfig(n_train=8, n_test=args.points))
-        program = (
-            parse_expr(args.program, known_ops=set(target.operators))
-            if args.program
-            else None
-        )
-        if program is None:
-            from .core.transcribe import transcribe
-
-            program = transcribe(core.body, target, core.precision)
-        error = score_program(
-            program, target, samples.test, samples.test_exact, core.precision
-        )
+        error = session.score(core, target, args.program or None)
         print(f"{core.name or '<anonymous>'}: mean bits of error = {error:.3f}")
     return 0
+
+
+def _cmd_serve(args) -> int:
+    from .service.server import serve
+
+    if args.timeout is not None and args.timeout <= 0:
+        raise SystemExit("--timeout must be positive (seconds)")
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be >= 1")
+    if args.timeout is not None:
+        # SIGALRM timeouts arm only in worker processes (and main threads);
+        # serve handlers are threads, so inline compiles run unbounded.
+        print(
+            "warning: --timeout bounds only /batch jobs dispatched to "
+            "worker processes (--jobs >= 2, multi-job batches); /compile "
+            "and /score requests run inline in server threads, unbounded",
+            file=sys.stderr,
+        )
+    session = ChassisSession(
+        config=CompileConfig(iterations=args.iterations),
+        sample_config=SampleConfig(
+            n_train=args.points, n_test=args.points, seed=args.seed
+        ),
+        cache=args.cache_dir or None,
+        jobs=args.jobs,
+        timeout=args.timeout,
+    )
+    return serve(session, host=args.host, port=args.port, verbose=not args.quiet)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -261,6 +286,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress per-job progress lines"
     )
     p_batch.set_defaults(fn=_cmd_batch)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="long-running JSON-over-HTTP compile server (one warm session)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8080, help="0 picks a free port")
+    p_serve.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent result cache directory (omit to disable caching)",
+    )
+    p_serve.add_argument("--jobs", type=int, default=1, help="batch worker processes")
+    p_serve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-job compile timeout for pool-dispatched /batch jobs "
+        "(seconds; needs --jobs >= 2 — inline compiles run unbounded)",
+    )
+    p_serve.add_argument("--iterations", type=int, default=2)
+    p_serve.add_argument("--points", type=int, default=48)
+    p_serve.add_argument("--seed", type=int, default=20250401)
+    p_serve.add_argument(
+        "--quiet", action="store_true", help="suppress per-request log lines"
+    )
+    p_serve.set_defaults(fn=_cmd_serve)
 
     p_sample = sub.add_parser("sample", help="sample valid inputs for an FPCore")
     p_sample.add_argument("input")

@@ -1,9 +1,17 @@
 """Chassis core: the target-aware numerical compiler."""
 
 from .candidates import Candidate, ParetoFrontier
-from .chassis import CompileResult, compile_fpcore
+from .chassis import compile_fpcore
 from .isel import instruction_select
 from .loop import CompileConfig, ImprovementLoop, improve
+from .pipeline import (
+    CompilePipeline,
+    CompileResult,
+    Phase,
+    PipelineContext,
+    compile_core,
+    default_phases,
+)
 from .output import render, to_c, to_fpcore, to_julia, to_python
 from .regimes import infer_regimes
 from .series import series_candidates, taylor_coeffs
@@ -14,7 +22,12 @@ __all__ = [
     "ParetoFrontier",
     "CompileConfig",
     "CompileResult",
+    "CompilePipeline",
+    "PipelineContext",
+    "Phase",
+    "compile_core",
     "compile_fpcore",
+    "default_phases",
     "improve",
     "ImprovementLoop",
     "instruction_select",

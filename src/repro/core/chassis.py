@@ -1,43 +1,24 @@
-"""Chassis' top-level entry point: compile an FPCore for a target.
+"""Chassis' historical top-level entry point (deprecated shim).
 
-Ties together sampling, the iterative improvement loop, regime inference
-and final test-set scoring (the architecture of paper figure 1), returning
-a Pareto frontier of target-specific programs.
+The monolithic :func:`compile_fpcore` is superseded by the explicit phase
+pipeline (:mod:`repro.core.pipeline`) and the session API
+(:class:`repro.api.ChassisSession`), which own the evaluator and caches
+across calls.  It remains importable for existing callers and delegates to
+:func:`~repro.core.pipeline.compile_core`; :class:`CompileResult` also
+lives in the pipeline module now and is re-exported here.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
+import warnings
 
-from ..accuracy.sampler import SampleConfig, SampleSet, sample_core
-from ..accuracy.scoring import score_program
-from ..cost.model import TargetCostModel
+from ..accuracy.sampler import SampleConfig, SampleSet
 from ..ir.fpcore import FPCore
-from ..rival.eval import RivalEvaluator
 from ..targets.target import Target
-from .candidates import Candidate, ParetoFrontier
-from .loop import CompileConfig, ImprovementLoop
-from .transcribe import Untranscribable, transcribe, transcribe_with_poly
+from .loop import CompileConfig
+from .pipeline import CompileResult, compile_core
 
-
-@dataclass
-class CompileResult:
-    """Everything produced by one Chassis compilation."""
-
-    core: FPCore
-    target: Target
-    #: Pareto frontier scored on held-out *test* points.
-    frontier: ParetoFrontier
-    #: The directly-transcribed input program, test-scored (the baseline
-    #: "black square" of paper figure 8).
-    input_candidate: Candidate
-    samples: SampleSet
-    elapsed: float
-
-    def best_for_error(self, error_bound: float) -> Candidate | None:
-        """Fastest output meeting an accuracy bound (bits of error)."""
-        return self.frontier.fastest_within(error_bound)
+__all__ = ["CompileResult", "compile_fpcore"]
 
 
 def compile_fpcore(
@@ -47,61 +28,17 @@ def compile_fpcore(
     sample_config: SampleConfig | None = None,
     samples: SampleSet | None = None,
 ) -> CompileResult:
-    """Compile one FPCore to a Pareto frontier of programs on ``target``.
+    """Deprecated: use :meth:`repro.api.ChassisSession.compile` (or
+    :func:`repro.core.pipeline.compile_core` for a one-shot call).
 
-    Raises :class:`~repro.core.transcribe.Untranscribable` when the
-    benchmark cannot be expressed on the target at all (the paper removes
-    such benchmark/target pairs from consideration) and
-    :class:`~repro.accuracy.sampler.SamplingError` when too few valid
-    inputs exist.
+    Behaves exactly as before — one full parse→…→score pipeline run with a
+    fresh evaluator — but shares no state between calls, which is what the
+    session API exists to fix.
     """
-    start = time.monotonic()
-    config = config or CompileConfig()
-    evaluator = RivalEvaluator()
-    if samples is None:
-        samples = sample_core(core, sample_config, evaluator)
-
-    # Fail fast (before sampling-dependent work) if the target can't even
-    # express the input program; targets lacking transcendentals fall back
-    # to polynomial approximation (paper section 2).
-    try:
-        input_program = transcribe(core.body, target, core.precision)
-    except Untranscribable:
-        input_program = transcribe_with_poly(core.body, target, core.precision)
-
-    loop = ImprovementLoop(core, target, samples, config, evaluator)
-    train_frontier = loop.run()
-
-    model = TargetCostModel(target)
-    test_frontier = ParetoFrontier()
-    for candidate in train_frontier:
-        error = score_program(
-            candidate.program, target, samples.test, samples.test_exact, core.precision
-        )
-        test_frontier.add(
-            Candidate(
-                program=candidate.program,
-                cost=candidate.cost,
-                error=error,
-                point_errors=candidate.point_errors,
-                origin=candidate.origin,
-            )
-        )
-
-    input_candidate = Candidate(
-        program=input_program,
-        cost=model.program_cost(input_program),
-        error=score_program(
-            input_program, target, samples.test, samples.test_exact, core.precision
-        ),
-        origin="input",
+    warnings.warn(
+        "compile_fpcore is deprecated; use repro.api.ChassisSession.compile "
+        "(or repro.core.pipeline.compile_core)",
+        DeprecationWarning,
+        stacklevel=2,
     )
-
-    return CompileResult(
-        core=core,
-        target=target,
-        frontier=test_frontier,
-        input_candidate=input_candidate,
-        samples=samples,
-        elapsed=time.monotonic() - start,
-    )
+    return compile_core(core, target, config, sample_config, samples=samples)

@@ -158,8 +158,13 @@ class ImprovementLoop:
 
     # --- the loop ------------------------------------------------------------------------
 
-    def run(self) -> ParetoFrontier:
-        """Run the full loop; returns the training-scored Pareto frontier."""
+    def run(self, with_regimes: bool | None = None) -> ParetoFrontier:
+        """Run the full loop; returns the training-scored Pareto frontier.
+
+        ``with_regimes`` overrides ``config.enable_regimes`` (the pipeline's
+        regimes phase passes ``False`` here and applies
+        :meth:`add_regimes` itself, so inference never runs twice).
+        """
         initial = transcribe_with_poly(self.core.body, self.target, self.ty)
         frontier = ParetoFrontier([self.score(initial, "initial")])
 
@@ -184,8 +189,8 @@ class ImprovementLoop:
                         break
             frontier.update(new_candidates)
 
-        if self.config.enable_regimes:
-            self._add_regimes(frontier)
+        if self.config.enable_regimes if with_regimes is None else with_regimes:
+            self.add_regimes(frontier)
         return frontier
 
     def _select_work(self, frontier: ParetoFrontier) -> list[Candidate]:
@@ -199,7 +204,8 @@ class ImprovementLoop:
                 break
         return picks
 
-    def _add_regimes(self, frontier: ParetoFrontier) -> None:
+    def add_regimes(self, frontier: ParetoFrontier) -> None:
+        """Regime inference over ``frontier``, in place (paper section 5.4)."""
         candidates = frontier.sorted_by_cost()
         branched = infer_regimes(
             candidates,

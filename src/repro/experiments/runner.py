@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 import sys
 
-from ..accuracy.sampler import SampleConfig, SampleSet, SamplingError, sample_core
+from ..accuracy.sampler import SampleConfig, SampleSet, SamplingError
 from ..baselines.clang import compile_all_configs
 from ..baselines.herbie import herbie_frontier_on_target, run_herbie
 from ..core.candidates import ParetoFrontier
@@ -23,10 +23,9 @@ from ..core.transcribe import Untranscribable
 from ..ir.fpcore import FPCore
 from ..ir.types import TYPE_BITS
 from ..perf.simulator import PerfSimulator
-from ..service.api import compile_many
 from ..service.cache import CompileCache, core_fingerprint
+from ..session import ChassisSession
 from ..targets.target import Target
-from ..cost.model import TargetCostModel
 from .pareto import Entry
 
 
@@ -45,22 +44,30 @@ class ExperimentConfig:
     cache: CompileCache | str | None = None
     #: Per-compilation timeout in seconds (None = unbounded).
     timeout: float | None = None
+    #: The warm session every runner compiles through (built lazily from the
+    #: knobs above; pass one explicitly to share it across experiments).
+    session: ChassisSession | None = field(default=None, repr=False)
+
+    def get_session(self) -> ChassisSession:
+        """This experiment's session (created on first use)."""
+        if self.session is None:
+            self.session = ChassisSession(
+                config=self.compile_config,
+                sample_config=self.sample_config,
+                cache=self.cache,
+                jobs=self.jobs,
+                timeout=self.timeout,
+            )
+        return self.session
 
     def compile_all(self, specs):
-        """Run (core, target[, samples]) specs through the batch service.
+        """Run (core, target[, samples]) specs through the session's pool.
 
         Expected infeasibilities (Untranscribable, SamplingError, timeouts)
         are the paper's removal protocol and stay silent; anything else is a
         compiler bug being dropped from a figure, so it is loudly flagged.
         """
-        outcomes = compile_many(
-            specs,
-            config=self.compile_config,
-            sample_config=self.sample_config,
-            jobs=self.jobs,
-            cache=self.cache,
-            timeout=self.timeout,
-        )
+        outcomes = self.get_session().compile_many(specs)
         expected = {"Untranscribable", "SamplingError", "JobTimeout", ""}
         for outcome in outcomes:
             if not outcome.ok and outcome.error_type not in expected:
@@ -103,7 +110,8 @@ def run_clang_comparison(
 ) -> list[ClangComparison]:
     """Chassis vs 12 Clang configurations; speedups relative to -O0."""
     config = config or ExperimentConfig()
-    simulator = PerfSimulator(target)
+    session = config.get_session()
+    simulator = session.simulator(target)
     results: list[ClangComparison] = []
 
     outcomes = config.compile_all([(core, target) for core in cores])
@@ -184,18 +192,21 @@ def run_herbie_comparison(
     output is unsupported are removed for both systems.
     """
     config = config or ExperimentConfig()
+    session = config.get_session()
     results: list[HerbieComparison] = []
 
     # Sample once per benchmark and share across every target (sampling is
     # target-independent and the oracle is expensive).  Keyed by *content*
     # fingerprint: keying on core.name collides for anonymous benchmarks.
+    # The session's own sample cache backs this; the local dict just records
+    # which benchmarks proved sampleable.
     samples_cache: dict[str, SampleSet] = {}
     for core in cores:
         key = core_fingerprint(core)
         if key in samples_cache:
             continue
         try:
-            samples_cache[key] = sample_core(core, config.sample_config)
+            samples_cache[key] = session.samples_for(core)
         except SamplingError:
             continue  # paper: unsampleable benchmarks are removed
 
@@ -215,23 +226,20 @@ def run_herbie_comparison(
     # its samples, so its IR frontier is computed once and lowered per
     # target.
     herbie_ir_cache: dict[str, ParetoFrontier] = {}
-    simulators: dict[str, PerfSimulator] = {}
 
     for (target, core, key), outcome in zip(jobs, outcomes):
-        simulator = simulators.get(target.name)
-        if simulator is None:
-            simulator = simulators[target.name] = PerfSimulator(target)
+        simulator = session.simulator(target)
         samples = samples_cache[key]
         if not outcome.ok:
             continue
         result = outcome.result
         if key not in herbie_ir_cache:
             herbie_ir_cache[key] = run_herbie(
-                core, samples, config.compile_config
+                core, samples, config.compile_config, session=session
             )
         herbie_frontier, stats = herbie_frontier_on_target(
             core, target, samples, config.compile_config,
-            ir_frontier=herbie_ir_cache[key],
+            ir_frontier=herbie_ir_cache[key], session=session,
         )
         if len(herbie_frontier) == 0:
             continue  # paper: benchmark removed for both systems
@@ -295,14 +303,15 @@ def run_cost_model_study(
 ) -> list[CostModelPoint]:
     """Collect (estimated cost, simulated run time) pairs across targets."""
     config = config or ExperimentConfig()
+    session = config.get_session()
     points: list[CostModelPoint] = []
     outcomes = config.compile_all(
         [(core, target) for target in targets for core in cores]
     )
     index = 0
     for target in targets:
-        simulator = PerfSimulator(target)
-        model = TargetCostModel(target)
+        simulator = session.simulator(target)
+        model = session.cost_model(target)
         for core in cores:
             outcome = outcomes[index]
             index += 1

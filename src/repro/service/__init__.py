@@ -1,33 +1,42 @@
 """Batch compilation service: persistent result cache + parallel scheduler.
 
-The production-facing subsystem layered over the single-benchmark compiler
-(:func:`repro.core.chassis.compile_fpcore`):
+The production-facing subsystem layered over the phase pipeline
+(:func:`repro.core.pipeline.compile_core`):
 
 * :mod:`repro.service.cache`     — content-addressed persistent cache
 * :mod:`repro.service.results`   — JSON round-trip of CompileResult
 * :mod:`repro.service.scheduler` — multiprocessing job scheduler
-* :mod:`repro.service.api`       — the :func:`compile_many` facade
+* :mod:`repro.service.api`       — the :func:`run_compile_jobs` engine
+  (plus the deprecated :func:`compile_many` shim)
 * :mod:`repro.service.batch`     — the ``repro batch`` CLI command
+* :mod:`repro.service.server`    — the ``repro serve`` HTTP front-end
+
+Most callers should go through :class:`repro.api.ChassisSession`, which
+owns the cache, pool and evaluator across calls.
 """
 
-from .api import compile_many, iter_ok_results
+from .api import JobSpec, compile_many, iter_ok_results, run_compile_jobs
 from .cache import (
     CacheStats,
     CompileCache,
     config_fingerprint,
     core_fingerprint,
     job_fingerprint,
+    sample_fingerprint,
     target_fingerprint,
 )
 from .results import result_from_dict, result_to_dict
-from .scheduler import BatchJob, BatchScheduler, JobOutcome
+from .scheduler import BatchJob, BatchScheduler, JobOutcome, job_event
 
 __all__ = [
     "compile_many",
+    "run_compile_jobs",
     "iter_ok_results",
+    "JobSpec",
     "CompileCache",
     "CacheStats",
     "core_fingerprint",
+    "sample_fingerprint",
     "target_fingerprint",
     "config_fingerprint",
     "job_fingerprint",
@@ -36,4 +45,5 @@ __all__ = [
     "BatchJob",
     "BatchScheduler",
     "JobOutcome",
+    "job_event",
 ]

@@ -1,8 +1,9 @@
-"""The batch compilation facade: one entry point for every experiment.
+"""The batch compilation engine: cache-aware fan-out over the worker pool.
 
-:func:`compile_many` is what the CLI's ``repro batch`` command and all the
-figure-reproduction runners call.  It layers the persistent cache under the
-parallel scheduler:
+:func:`run_compile_jobs` is the engine behind
+:meth:`repro.api.ChassisSession.compile_many` (and the deprecated
+module-level :func:`compile_many` shim).  It layers the persistent cache
+under the parallel scheduler:
 
 1. every job is fingerprinted and looked up in the cache (parent process,
    so hit/miss stats are centralized and workers stay cache-free);
@@ -11,7 +12,7 @@ parallel scheduler:
    custom targets hold unpicklable closures);
 3. fresh results are stored back, and every ok outcome carries both the
    JSON payload (for reports) and the deserialized
-   :class:`~repro.core.chassis.CompileResult` (for re-scoring).
+   :class:`~repro.core.pipeline.CompileResult` (for re-scoring).
 
 Cached and freshly-compiled outcomes are indistinguishable apart from the
 ``cached`` flag: both are round-tripped through the same serialization, so
@@ -20,19 +21,31 @@ a warm run reproduces a cold run's report byte-for-byte.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+import warnings
+from contextlib import nullcontext
+from typing import Iterable, Sequence, TypeAlias
 
-from ..accuracy.sampler import SampleConfig
+from ..accuracy.sampler import SampleConfig, SampleSet
 from ..core.loop import CompileConfig
 from ..ir.fpcore import FPCore
 from ..targets import get_target
 from ..targets.target import Target
 from .cache import CompileCache, job_fingerprint, target_fingerprint
 from .results import core_to_source, result_from_dict
-from .scheduler import BatchJob, BatchScheduler, JobOutcome, _worker_init, run_job
+from .scheduler import (
+    BatchJob,
+    BatchScheduler,
+    JobOutcome,
+    _worker_init,
+    job_event,
+    run_job,
+)
 
-#: A unit of requested work: a benchmark plus a target (object or name).
-JobSpec = "tuple[FPCore, Target | str]"
+#: A unit of requested work: a benchmark plus a target (object or registry
+#: name), optionally with pre-computed samples (see :func:`run_compile_jobs`).
+JobSpec: TypeAlias = (
+    tuple[FPCore, "Target | str"] | tuple[FPCore, "Target | str", "SampleSet | None"]
+)
 
 
 def _resolve_target(target: Target | str) -> Target:
@@ -51,14 +64,15 @@ def _poolable(target: Target) -> bool:
     )
 
 
-def compile_many(
-    specs: Sequence["tuple[FPCore, Target | str]"],
+def run_compile_jobs(
+    specs: Sequence[JobSpec],
     config: CompileConfig | None = None,
     sample_config: SampleConfig | None = None,
     jobs: int = 1,
     cache: CompileCache | str | None = None,
     timeout: float | None = None,
     progress=None,
+    inline_lock=None,
 ) -> list[JobOutcome]:
     """Compile many (benchmark, target) pairs; returns outcomes in order.
 
@@ -71,6 +85,13 @@ def compile_many(
     ``cache`` may be a :class:`CompileCache` or a directory path; ``None``
     disables caching.  ``jobs`` is the worker-pool width; ``timeout``
     bounds each individual compilation in seconds.
+
+    Cache misses may run *inline* in the calling thread (``jobs=1``,
+    single-job batches, non-registry targets), configured through
+    module-global worker state — and mpmath precision is process-global —
+    so concurrent callers must pass the same ``inline_lock`` to serialize
+    those sections (pool-dispatched work is unaffected).  Going through
+    :meth:`repro.api.ChassisSession.compile_many` does this for you.
     """
     config = config or CompileConfig()
     sample_config = sample_config or SampleConfig()
@@ -97,9 +118,10 @@ def compile_many(
         if cache is not None:
             payload = cache.get(fingerprint)
             if payload is not None:
+                benchmark = core.name or "<anonymous>"
                 outcomes[index] = JobOutcome(
                     index=index,
-                    benchmark=core.name or "<anonymous>",
+                    benchmark=benchmark,
                     target=target.name,
                     status="ok",
                     fingerprint=fingerprint,
@@ -107,16 +129,7 @@ def compile_many(
                     payload=payload,
                 )
                 if progress is not None:
-                    progress({
-                        "index": index,
-                        "benchmark": core.name or "<anonymous>",
-                        "target": target.name,
-                        "status": "ok",
-                        "cached": True,
-                        "error_type": "",
-                        "error": "",
-                        "elapsed": 0.0,
-                    })
+                    progress(job_event(index, benchmark, target.name, cached=True))
                 continue
         job = BatchJob(index, core_to_source(core), target.name, samples=samples)
         if _poolable(target):
@@ -127,14 +140,19 @@ def compile_many(
     raw: list[dict] = []
     if pool_batch:
         scheduler = BatchScheduler(jobs=jobs, timeout=timeout)
-        raw.extend(scheduler.run(pool_batch, config, sample_config, progress))
+        raw.extend(
+            scheduler.run(
+                pool_batch, config, sample_config, progress, inline_lock=inline_lock
+            )
+        )
     if inline_jobs:
-        _worker_init(config, sample_config, timeout)
-        for _index, job, target in inline_jobs:
-            outcome = run_job(job, target=target)
-            if progress is not None:
-                progress(outcome)
-            raw.append(outcome)
+        with inline_lock if inline_lock is not None else nullcontext():
+            _worker_init(config, sample_config, timeout)
+            for _index, job, target in inline_jobs:
+                outcome = run_job(job, target=target)
+                if progress is not None:
+                    progress(outcome)
+                raw.append(outcome)
 
     for outcome_dict in raw:
         index = outcome_dict["index"]
@@ -164,6 +182,36 @@ def compile_many(
             outcome.result = result_from_dict(outcome.payload, targets_by_index[index])
         final.append(outcome)
     return final
+
+
+def compile_many(
+    specs: Sequence[JobSpec],
+    config: CompileConfig | None = None,
+    sample_config: SampleConfig | None = None,
+    jobs: int = 1,
+    cache: CompileCache | str | None = None,
+    timeout: float | None = None,
+    progress=None,
+) -> list[JobOutcome]:
+    """Deprecated: use :meth:`repro.api.ChassisSession.compile_many`.
+
+    A session amortizes the evaluator, sample cache and persistent result
+    cache across calls; this one-shot facade rebuilds them every time.
+    """
+    warnings.warn(
+        "compile_many is deprecated; use repro.api.ChassisSession.compile_many",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return run_compile_jobs(
+        specs,
+        config=config,
+        sample_config=sample_config,
+        jobs=jobs,
+        cache=cache,
+        timeout=timeout,
+        progress=progress,
+    )
 
 
 def iter_ok_results(outcomes: Iterable[JobOutcome]):

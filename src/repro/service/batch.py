@@ -1,9 +1,9 @@
 """``repro batch``: batched, parallel, cached compilation from the CLI.
 
 Selects benchmarks (a file, named benchmarks, or a slice of the built-in
-suite) and targets, fans the cross product through
-:func:`repro.service.api.compile_many`, prints a per-job progress line plus
-cache statistics, and optionally writes a JSONL report.
+suite) and targets, fans the cross product through a
+:class:`~repro.session.ChassisSession`'s ``compile_many``, prints a per-job
+progress line plus cache statistics, and optionally writes a JSONL report.
 
 Report lines deliberately exclude wall-clock times and cache flags so that
 ``--jobs 1`` and ``--jobs N`` runs — and cold and warm runs — produce
@@ -20,8 +20,6 @@ from ..benchsuite import suite
 from ..core.loop import CompileConfig
 from ..ir.fpcore import FPCore
 from ..targets import TARGET_NAMES
-from .api import compile_many
-from .cache import CompileCache
 from .scheduler import JobOutcome
 
 
@@ -48,22 +46,48 @@ def select_targets(args) -> list[str]:
     return names
 
 
-def report_line(outcome: JobOutcome) -> dict:
-    """One deterministic JSONL report row (no timings, no cache flags)."""
-    row = {
-        "benchmark": outcome.benchmark,
-        "target": outcome.target,
-        "fingerprint": outcome.fingerprint,
-        "status": outcome.status,
-    }
-    if outcome.status != "ok":
-        row["error_type"] = outcome.error_type
-        row["error"] = outcome.error
+def job_row(
+    benchmark: str,
+    target: str,
+    status: str,
+    *,
+    fingerprint: str | None = None,
+    error_type: str = "",
+    error: str = "",
+    payload: dict | None = None,
+) -> dict:
+    """The one ok/failed JSON row shape for machine-readable output.
+
+    Shared by the batch report writer, ``repro compile --json`` and the
+    serve front-end's batch endpoint, so their rows are joinable and can't
+    drift apart.  Deliberately excludes wall-clock times and cache flags so
+    cold and warm (and serial and parallel) runs emit identical rows.
+    """
+    row = {"benchmark": benchmark, "target": target}
+    if fingerprint is not None:
+        row["fingerprint"] = fingerprint
+    row["status"] = status
+    if status != "ok":
+        row["error_type"] = error_type
+        row["error"] = error
         return row
-    payload = outcome.payload or {}
+    payload = payload or {}
     row["input"] = _entry(payload.get("input", {}))
     row["frontier"] = [_entry(c) for c in payload.get("frontier", [])]
     return row
+
+
+def report_line(outcome: JobOutcome) -> dict:
+    """One deterministic JSONL report row (no timings, no cache flags)."""
+    return job_row(
+        outcome.benchmark,
+        outcome.target,
+        outcome.status,
+        fingerprint=outcome.fingerprint,
+        error_type=outcome.error_type,
+        error=outcome.error,
+        payload=outcome.payload,
+    )
 
 
 def _entry(candidate: dict) -> dict:
@@ -87,11 +111,17 @@ def cmd_batch(args) -> int:
     if not specs:
         raise SystemExit("nothing to compile: empty benchmark or target selection")
 
-    config = CompileConfig(iterations=args.iterations)
-    sample_config = SampleConfig(
-        n_train=args.points, n_test=args.points, seed=args.seed
+    from ..session import ChassisSession
+
+    session = ChassisSession(
+        config=CompileConfig(iterations=args.iterations),
+        sample_config=SampleConfig(
+            n_train=args.points, n_test=args.points, seed=args.seed
+        ),
+        cache=args.cache_dir or None,
+        jobs=args.jobs,
+        timeout=args.timeout,
     )
-    cache = CompileCache(args.cache_dir) if args.cache_dir else None
 
     def progress(outcome: dict) -> None:
         if not args.quiet:
@@ -110,15 +140,7 @@ def cmd_batch(args) -> int:
         f"--jobs {args.jobs})",
         file=sys.stderr,
     )
-    outcomes = compile_many(
-        specs,
-        config=config,
-        sample_config=sample_config,
-        jobs=args.jobs,
-        cache=cache,
-        timeout=args.timeout,
-        progress=progress,
-    )
+    outcomes = session.compile_many(specs, progress=progress)
 
     counts = {"ok": 0, "failed": 0, "timeout": 0}
     compiled = cached = 0
@@ -140,8 +162,8 @@ def cmd_batch(args) -> int:
         f"timeout={counts['timeout']} compiled={compiled} cached={cached}"
     )
     print(summary)
-    if cache is not None:
-        print(f"cache: {cache.stats}")
+    if session.cache is not None:
+        print(f"cache: {session.cache.stats}")
     # Per-job failures are data (the paper's removal protocol), but a batch
     # where *nothing* succeeded is an operational failure.
     return 0 if counts["ok"] else 1

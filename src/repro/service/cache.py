@@ -83,6 +83,17 @@ def core_fingerprint(core: FPCore) -> str:
     return _digest("fpcore", core_to_source(core))
 
 
+def sample_fingerprint(core: FPCore, sample_config: SampleConfig | None = None) -> str:
+    """Key for one benchmark's seeded sample set (session sample cache).
+
+    Samples are a pure function of the benchmark content and the sampling
+    knobs (sampling is seeded), so this is exactly what identifies them.
+    """
+    return _digest(
+        "samples", core_fingerprint(core), _canonical(sample_config or SampleConfig())
+    )
+
+
 # Targets are frozen; digesting one walks its whole operator table, so the
 # digest is cached per instance (same keepalive idiom as Target's impl
 # registry cache).

@@ -27,11 +27,12 @@ from __future__ import annotations
 import multiprocessing
 import signal
 import threading
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from ..accuracy.sampler import SampleConfig, SamplingError
-from ..core.chassis import compile_fpcore
 from ..core.loop import CompileConfig
+from ..core.pipeline import compile_core
 from ..core.transcribe import Untranscribable
 from ..ir.fpcore import parse_fpcore
 from ..targets import get_target
@@ -50,6 +51,37 @@ class JobTimeout(BaseException):
     which would otherwise swallow the alarm and let a timed-out job run
     to completion.
     """
+
+
+def job_event(
+    index: int,
+    benchmark: str,
+    target: str,
+    status: str = "ok",
+    *,
+    cached: bool = False,
+    error_type: str = "",
+    error: str = "",
+    elapsed: float = 0.0,
+    payload: dict | None = None,
+) -> dict:
+    """The one progress-event / worker-outcome shape.
+
+    Every dict that crosses a progress callback or the process boundary —
+    cache hits in the api facade, fresh jobs in :func:`run_job` — is built
+    here, so the two can never drift apart in shape.
+    """
+    return {
+        "index": index,
+        "benchmark": benchmark,
+        "target": target,
+        "status": status,
+        "cached": cached,
+        "error_type": error_type,
+        "error": error,
+        "elapsed": elapsed,
+        "payload": payload,
+    }
 
 
 @dataclass(frozen=True)
@@ -119,16 +151,7 @@ def run_job(job: BatchJob, target=None) -> dict:
     if target is None:
         target = get_target(job.target_name)
     core = parse_fpcore(job.core_source, known_ops=set(target.operators))
-    outcome = {
-        "index": job.index,
-        "benchmark": core.name or "<anonymous>",
-        "target": target.name,
-        "status": "ok",
-        "error_type": "",
-        "error": "",
-        "payload": None,
-        "elapsed": 0.0,
-    }
+    outcome = job_event(job.index, core.name or "<anonymous>", target.name)
 
     # SIGALRM only works in the main thread; off-main-thread callers (e.g.
     # a notebook executor driving compile_many inline) run unbounded rather
@@ -145,7 +168,7 @@ def run_job(job: BatchJob, target=None) -> dict:
     result = None
     try:
         try:
-            result = compile_fpcore(
+            result = compile_core(
                 core, target, config, sample_config, samples=job.samples
             )
         except EXPECTED_FAILURES as error:
@@ -181,9 +204,19 @@ def run_job(job: BatchJob, target=None) -> dict:
 
 
 def _pool_context():
-    """Prefer fork (workers inherit the parent's hash seed and imports)."""
+    """Prefer fork (workers inherit the parent's hash seed and imports) —
+    but never fork a multi-threaded process directly: forking from, say, a
+    serve handler thread is deadlock-prone (the child inherits locks held
+    by threads that don't exist in it) and deprecated on Python 3.12+.
+    Such callers get *forkserver*: workers fork from a clean
+    single-threaded helper process (unlike spawn, the caller's
+    ``__main__`` is never re-executed)."""
+    single_threaded = (
+        threading.current_thread() is threading.main_thread()
+        and threading.active_count() == 1
+    )
     try:
-        return multiprocessing.get_context("fork")
+        return multiprocessing.get_context("fork" if single_threaded else "forkserver")
     except ValueError:  # pragma: no cover - non-POSIX platforms
         return multiprocessing.get_context()
 
@@ -206,22 +239,26 @@ class BatchScheduler:
         config: CompileConfig | None = None,
         sample_config: SampleConfig | None = None,
         progress=None,
+        inline_lock=None,
     ) -> list[dict]:
         """Execute every job; returns outcome dicts sorted by job index.
 
         ``progress``, when given, is called with each outcome dict as it
         completes (pool order — not deterministic; the return value is).
+        ``inline_lock`` is held around serial in-process execution (see
+        :func:`repro.service.api.run_compile_jobs`).
         """
         config = config or CompileConfig()
         sample_config = sample_config or SampleConfig()
         outcomes: list[dict] = []
         if self.jobs == 1 or len(batch) <= 1:
-            _worker_init(config, sample_config, self.timeout)
-            for job in batch:
-                outcome = run_job(job)
-                if progress is not None:
-                    progress(outcome)
-                outcomes.append(outcome)
+            with inline_lock if inline_lock is not None else nullcontext():
+                _worker_init(config, sample_config, self.timeout)
+                for job in batch:
+                    outcome = run_job(job)
+                    if progress is not None:
+                        progress(outcome)
+                    outcomes.append(outcome)
         else:
             context = _pool_context()
             workers = min(self.jobs, len(batch))

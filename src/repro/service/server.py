@@ -1,0 +1,324 @@
+"""``repro serve``: a long-running JSON-over-HTTP compilation front-end.
+
+One warm :class:`~repro.session.ChassisSession` behind a stdlib
+:class:`~http.server.ThreadingHTTPServer` — no third-party dependencies.
+Repeated requests hit the session's sample cache, evaluator and persistent
+result cache instead of paying process start-up per compilation.
+
+Endpoints (all bodies JSON):
+
+* ``GET  /health``  — liveness plus session/cache statistics.
+* ``GET  /targets`` — the registered target descriptions (figure 6 data).
+* ``POST /compile`` — ``{"core": "<FPCore src>", "target": "c99"}`` plus
+  optional ``iterations``/``points``/``seed`` knobs.  Responds with
+  ``{"status": "ok", ..., "result": <payload>}``; an identical second
+  request is served from the warm cache with a **byte-identical** body
+  (the ``X-Repro-Cached`` header is the only difference).
+* ``POST /batch``   — ``{"cores": [...], "targets": [...]}``; the cross
+  product through the session's pool + cache, reported in the same row
+  shape as ``repro batch --report``.
+* ``POST /score``   — ``{"core": ..., "target": ..., "program": ...?}``;
+  mean bits of error of a program (default: the transcribed input).
+
+Malformed requests (bad JSON, missing/unknown fields, unparseable cores)
+get a 4xx with ``{"error": ...}``; infeasible benchmark/target pairs are
+*data*, not errors, and come back 200 with ``"status": "failed"`` exactly
+like batch outcomes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import sys
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import urlparse
+
+from ..accuracy.sampler import SamplingError
+from ..core.transcribe import Untranscribable
+from ..ir.parser import parse_expr
+from ..targets import TARGET_NAMES
+from .batch import report_line
+
+#: Request-size ceiling (bytes): far above any benchmark, far below a DoS.
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+class RequestError(ValueError):
+    """A client-side problem: reported as a 4xx, never a stack trace."""
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status
+
+
+def _require(body: dict, key: str, kind: type) -> object:
+    value = body.get(key)
+    if not isinstance(value, kind):
+        raise RequestError(
+            f"field {key!r} must be a {kind.__name__}, got {type(value).__name__}"
+        )
+    return value
+
+
+class ChassisRequestHandler(BaseHTTPRequestHandler):
+    """Routes requests onto the server's shared session."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def session(self):
+        return self.server.session
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    # --- plumbing -------------------------------------------------------------------
+
+    def _send_json(self, status: int, obj: dict, headers: dict | None = None) -> None:
+        body = json.dumps(obj).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if status >= 400:
+            # Error paths may not have drained the request body; reusing
+            # the keep-alive connection would parse the leftover bytes as
+            # the next request line, so close it instead.
+            self.close_connection = True
+            self.send_header("Connection", "close")
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> dict:
+        length = self.headers.get("Content-Length")
+        try:
+            length = int(length)
+        except (TypeError, ValueError):
+            raise RequestError("missing or invalid Content-Length") from None
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise RequestError(f"body too large (limit {MAX_BODY_BYTES} bytes)", 413)
+        raw = self.rfile.read(length)
+        try:
+            body = json.loads(raw)
+        except ValueError:
+            raise RequestError("request body is not valid JSON") from None
+        if not isinstance(body, dict):
+            raise RequestError("request body must be a JSON object")
+        return body
+
+    def _configs_from(self, body: dict):
+        """Per-request knob overrides on top of the session defaults."""
+        session = self.session
+        config, sample_config = session.config, session.sample_config
+        if "iterations" in body:
+            iterations = _require(body, "iterations", int)
+            if iterations < 0:
+                raise RequestError("iterations must be >= 0")
+            config = dataclasses.replace(config, iterations=iterations)
+        points = seed = None
+        if "points" in body:
+            points = _require(body, "points", int)
+            if points < 1:
+                raise RequestError("points must be >= 1")
+        if "seed" in body:
+            seed = _require(body, "seed", int)
+        if points is not None or seed is not None:
+            sample_config = dataclasses.replace(
+                sample_config,
+                **({"n_train": points, "n_test": points} if points is not None else {}),
+                **({"seed": seed} if seed is not None else {}),
+            )
+        return config, sample_config
+
+    def _parse_core(self, source: str, target):
+        try:
+            return self.session.parse(source, target)
+        except Exception as error:
+            raise RequestError(f"unparseable FPCore: {error}") from None
+
+    def _resolve_target(self, name: str):
+        if name not in TARGET_NAMES:
+            raise RequestError(
+                f"unknown target {name!r}; available: {', '.join(TARGET_NAMES)}"
+            )
+        return self.session.resolve_target(name)
+
+    # --- routes ---------------------------------------------------------------------
+
+    def do_GET(self):  # noqa: N802 - stdlib naming
+        path = urlparse(self.path).path
+        if path == "/health":
+            session = self.session
+            self._send_json(200, {
+                "ok": True,
+                "stats": session.stats.as_dict(),
+                "cache": session.cache.stats.as_dict() if session.cache else None,
+            })
+        elif path == "/targets":
+            self._send_json(200, {"targets": self.session.targets_info()})
+        else:
+            self._send_json(404, {"error": f"no such endpoint: {path}"})
+
+    def do_POST(self):  # noqa: N802 - stdlib naming
+        path = urlparse(self.path).path
+        handler = {
+            "/compile": self._post_compile,
+            "/batch": self._post_batch,
+            "/score": self._post_score,
+        }.get(path)
+        if handler is None:
+            self._send_json(404, {"error": f"no such endpoint: {path}"})
+            return
+        try:
+            handler(self._read_body())
+        except RequestError as error:
+            self._send_json(error.status, {"error": str(error)})
+        except Exception as error:  # noqa: BLE001 - a bug must not kill the server
+            self._send_json(
+                500, {"error": str(error), "error_type": type(error).__name__}
+            )
+
+    def _post_compile(self, body: dict) -> None:
+        target = self._resolve_target(_require(body, "target", str))
+        core = self._parse_core(_require(body, "core", str), target)
+        config, sample_config = self._configs_from(body)
+        benchmark = core.name or "<anonymous>"
+        try:
+            payload, cached = self.session.compile_payload(
+                core, target, config=config, sample_config=sample_config
+            )
+        except (Untranscribable, SamplingError) as error:
+            self._send_json(200, {
+                "status": "failed",
+                "benchmark": benchmark,
+                "target": target.name,
+                "error_type": type(error).__name__,
+                "error": str(error),
+            }, headers={"X-Repro-Cached": "0"})
+            return
+        # The body is built from the stored payload, so a warm repeat of an
+        # identical request is byte-identical; only the header differs.
+        self._send_json(200, {
+            "status": "ok",
+            "benchmark": benchmark,
+            "target": target.name,
+            "result": payload,
+        }, headers={"X-Repro-Cached": "1" if cached else "0"})
+
+    def _post_batch(self, body: dict) -> None:
+        sources = _require(body, "cores", list)
+        target_names = _require(body, "targets", list)
+        if not sources or not target_names:
+            raise RequestError("cores and targets must be non-empty lists")
+        if not all(isinstance(name, str) for name in target_names):
+            raise RequestError("targets must be a list of target names")
+        if not all(isinstance(source, str) for source in sources):
+            raise RequestError("cores must be a list of FPCore source strings")
+        targets = [self._resolve_target(name) for name in target_names]
+        cores = [self._parse_core(source, None) for source in sources]
+        config, sample_config = self._configs_from(body)
+        outcomes = self.session.compile_many(
+            [(core, target) for target in targets for core in cores],
+            config=config,
+            sample_config=sample_config,
+        )
+        self._send_json(200, {
+            "outcomes": [report_line(outcome) for outcome in outcomes],
+            "summary": {
+                "ok": sum(o.ok for o in outcomes),
+                "failed": sum(not o.ok for o in outcomes),
+                "cached": sum(o.cached for o in outcomes),
+            },
+        })
+
+    def _post_score(self, body: dict) -> None:
+        target = self._resolve_target(_require(body, "target", str))
+        core = self._parse_core(_require(body, "core", str), target)
+        program = body.get("program")
+        if program is not None and not isinstance(program, str):
+            raise RequestError("field 'program' must be a string")
+        if program is not None:
+            # Pre-parse here so a bad program is the client's 400, not a 500
+            # (mirrors _parse_core for the benchmark itself).
+            try:
+                program = parse_expr(program, known_ops=set(target.operators))
+            except Exception as error:
+                raise RequestError(f"unparseable program: {error}") from None
+        try:
+            error_bits = self.session.score(core, target, program)
+        except (Untranscribable, SamplingError) as error:
+            raise RequestError(
+                f"{type(error).__name__}: {error}", status=422
+            ) from None
+        except KeyError as error:
+            raise RequestError(f"unknown operator in program: {error}") from None
+        self._send_json(200, {
+            "benchmark": core.name or "<anonymous>",
+            "target": target.name,
+            "error_bits": error_bits,
+        })
+
+
+class ChassisServer(ThreadingHTTPServer):
+    """HTTP server bound to one shared :class:`ChassisSession`."""
+
+    daemon_threads = True
+
+    def __init__(self, address, session, verbose: bool = False):
+        super().__init__(address, ChassisRequestHandler)
+        self.session = session
+        self.verbose = verbose
+
+
+def create_server(
+    session=None, host: str = "127.0.0.1", port: int = 0, verbose: bool = False
+) -> ChassisServer:
+    """Build (but do not start) a server; ``port=0`` picks a free port.
+
+    The bound address is ``server.server_address``; run it with
+    ``serve_forever()`` (tests drive it from a thread) and stop it with
+    ``shutdown()`` + ``server_close()``.
+    """
+    if session is None:
+        from ..session import ChassisSession
+
+        session = ChassisSession()
+    return ChassisServer((host, port), session, verbose=verbose)
+
+
+def serve(
+    session=None,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    verbose: bool = False,
+) -> int:
+    """Run the front-end until interrupted (the ``repro serve`` command).
+
+    Shuts down cleanly on SIGINT *and* SIGTERM (supervisors and CI send
+    the latter; background shells ignore the former).
+    """
+    server = create_server(session, host, port, verbose=verbose)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"repro serve: listening on http://{bound_host}:{bound_port}", file=sys.stderr)
+    def _terminate(_signum, _frame):
+        raise KeyboardInterrupt
+
+    try:
+        import signal
+
+        signal.signal(signal.SIGTERM, _terminate)
+    except (ValueError, OSError, AttributeError):
+        pass  # not the main thread (tests) or no signals on this platform
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        session = server.session
+        print(f"repro serve: shut down ({session.stats.as_dict()})", file=sys.stderr)
+    return 0

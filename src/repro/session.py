@@ -1,0 +1,502 @@
+"""The session API: one warm object that owns every per-process resource.
+
+A :class:`ChassisSession` holds, for its whole lifetime,
+
+* one :class:`~repro.rival.eval.RivalEvaluator` (the oracle),
+* an in-memory LRU of seeded sample sets (keyed by benchmark content),
+* an optional persistent :class:`~repro.service.cache.CompileCache`,
+* per-target cost-model and performance-simulator instances,
+* the worker-pool width / per-job timeout used by batch calls,
+* a thread pool backing the async-style :meth:`submit`/:class:`JobHandle`.
+
+Every consumer — the CLI, ``repro serve``, the experiment runners, the
+baselines — goes through a session, so repeated requests hit warm state
+instead of paying process start-up each time.  The old module-level
+``compile_fpcore`` / ``compile_many`` entry points survive as deprecated
+shims that build this state from scratch per call.
+
+Synopsis::
+
+    from repro.api import ChassisSession
+
+    with ChassisSession(cache=".repro-cache", jobs=4) as session:
+        result = session.compile("(FPCore (x) (- (sqrt (+ x 1)) (sqrt x)))",
+                                 "c99")
+        outcomes = session.compile_many([(core, "c99"), (core, "avx")])
+        handle = session.submit(core, "fdlibm")
+        ...                      # do other work
+        result = handle.result() # block for the compilation
+
+Pipeline hooks ride along: ``session.compile(core, t, skip=("regimes",))``
+compiles without branch inference, ``replace={"sample": MyPhase()}`` swaps
+a phase, and :meth:`improve` is the score-free variant the Herbie baseline
+uses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from collections import OrderedDict
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from .accuracy.sampler import SampleConfig, SampleSet, sample_core
+from .accuracy.scoring import score_program
+from .core.candidates import ParetoFrontier
+from .core.loop import CompileConfig
+from .core.pipeline import (
+    CompilePipeline,
+    CompileResult,
+    Phase,
+    PhaseHook,
+    PipelineContext,
+    PipelineError,
+)
+from .cost.model import TargetCostModel
+from .ir.fpcore import FPCore, parse_fpcore
+from .ir.parser import parse_expr
+from .perf.simulator import PerfSimulator
+from .rival.eval import RivalEvaluator
+from .service.api import JobSpec, run_compile_jobs
+from .service.cache import CompileCache, job_fingerprint, sample_fingerprint
+from .service.results import result_from_dict, result_to_dict
+from .service.scheduler import JobOutcome
+from .targets import all_targets, get_target
+from .targets.target import Target
+
+
+@dataclass
+class SessionStats:
+    """Counters over one session's lifetime (surfaced by ``/health``)."""
+
+    compiles: int = 0
+    cache_hits: int = 0
+    failures: int = 0
+    sample_hits: int = 0
+    sample_misses: int = 0
+    batches: int = 0
+    submitted: int = 0
+
+    def as_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclass
+class JobHandle:
+    """An async-style handle on one in-flight compilation."""
+
+    benchmark: str
+    target: str
+    _future: Future = field(repr=False)
+
+    def done(self) -> bool:
+        return self._future.done()
+
+    def poll(self) -> str:
+        """Non-blocking status: ``"pending"``, ``"ok"`` or ``"failed"``."""
+        if not self._future.done():
+            return "pending"
+        return "failed" if self._future.exception() is not None else "ok"
+
+    def result(self, timeout: float | None = None) -> CompileResult:
+        """Block until done; re-raises the compilation's exception if any."""
+        return self._future.result(timeout)
+
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        return self._future.exception(timeout)
+
+
+class ChassisSession:
+    """A long-lived compilation session; see the module docstring.
+
+    ``config``/``sample_config`` are the session defaults (overridable per
+    call); ``cache`` is a :class:`CompileCache`, a directory path, or None;
+    ``jobs``/``timeout`` parameterize batch calls and the :meth:`submit`
+    pool.  Sessions may be shared across threads (the serve front-end and
+    :meth:`submit` do): mutable session state sits behind one lock, and
+    oracle-backed work — sampling and the pipeline itself — is serialized
+    behind another, because mpmath's working precision is process-global
+    state (``mp.workprec``); concurrent in-process compilations would race
+    on it.  True parallelism is process-level, via :meth:`compile_many`.
+    """
+
+    def __init__(
+        self,
+        *,
+        config: CompileConfig | None = None,
+        sample_config: SampleConfig | None = None,
+        cache: CompileCache | str | None = None,
+        jobs: int = 1,
+        timeout: float | None = None,
+        max_sample_entries: int = 256,
+    ):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        self.config = config or CompileConfig()
+        self.sample_config = sample_config or SampleConfig()
+        self.cache = CompileCache(cache) if isinstance(cache, str) else cache
+        self.jobs = jobs
+        self.timeout = timeout
+        self.evaluator = RivalEvaluator()
+        self.stats = SessionStats()
+        self._lock = threading.RLock()
+        # Serializes every mpmath-backed computation (see class docstring).
+        self._oracle_lock = threading.RLock()
+        self._samples: OrderedDict[str, SampleSet] = OrderedDict()
+        self._max_sample_entries = max_sample_entries
+        # Keyed by id() with a keepalive (targets are unhashable frozen
+        # objects; same idiom as the target-fingerprint cache).
+        self._simulators: dict[int, PerfSimulator] = {}
+        self._keepalive: list[Target] = []
+        self._executor: ThreadPoolExecutor | None = None
+        self._closed = False
+
+    # --- resource resolution --------------------------------------------------------
+
+    def resolve_target(self, target: Target | str) -> Target:
+        """Registry names become Targets; Targets pass through."""
+        return get_target(target) if isinstance(target, str) else target
+
+    def parse(self, core: FPCore | str, target: Target | None = None) -> FPCore:
+        """Parse FPCore source (the pipeline's parse phase, session-side)."""
+        if isinstance(core, FPCore):
+            return core
+        known_ops = set(target.operators) if target is not None else None
+        return parse_fpcore(core, known_ops=known_ops)
+
+    def cost_model(self, target: Target | str) -> TargetCostModel:
+        """A cost model for ``target`` (construction is trivial; this
+        exists so consumers resolve names through one place)."""
+        return TargetCostModel(self.resolve_target(target))
+
+    def simulator(self, target: Target | str) -> PerfSimulator:
+        """This session's (cached) performance simulator for ``target``."""
+        target = self.resolve_target(target)
+        with self._lock:
+            simulator = self._simulators.get(id(target))
+            if simulator is None:
+                simulator = self._simulators[id(target)] = PerfSimulator(target)
+                self._keepalive.append(target)
+            return simulator
+
+    def samples_for(
+        self, core: FPCore, sample_config: SampleConfig | None = None
+    ) -> SampleSet:
+        """Seeded samples for one benchmark, cached across the session.
+
+        Raises :class:`~repro.accuracy.sampler.SamplingError` when too few
+        valid points exist (never cached: the retry might be configured
+        differently).
+        """
+        sample_config = sample_config or self.sample_config
+        key = sample_fingerprint(core, sample_config)
+        with self._lock:
+            cached = self._samples.get(key)
+            if cached is not None:
+                self._samples.move_to_end(key)
+                self.stats.sample_hits += 1
+                return cached
+            self.stats.sample_misses += 1
+        with self._oracle_lock:
+            samples = sample_core(core, sample_config, self.evaluator)
+        with self._lock:
+            self._samples[key] = samples
+            while len(self._samples) > self._max_sample_entries:
+                self._samples.popitem(last=False)
+        return samples
+
+    # --- single compilations --------------------------------------------------------
+
+    def run_pipeline(
+        self,
+        core: FPCore | str,
+        target: Target | str,
+        *,
+        config: CompileConfig | None = None,
+        sample_config: SampleConfig | None = None,
+        samples: SampleSet | None = None,
+        skip: tuple[str, ...] | list[str] = (),
+        replace: dict[str, Phase] | None = None,
+        before: PhaseHook | None = None,
+        after: PhaseHook | None = None,
+    ) -> PipelineContext:
+        """Run the phase pipeline with session-owned resources; returns the
+        full context (for partial runs — e.g. ``skip=("score",)`` leaves
+        ``ctx.train_frontier`` as the product)."""
+        target = self.resolve_target(target)
+        sample_config = sample_config or self.sample_config
+        core = self.parse(core, target)
+        if samples is None and "sample" not in set(skip) and (
+            replace is None or "sample" not in replace
+        ):
+            samples = self.samples_for(core, sample_config)
+        ctx = PipelineContext(
+            target=target,
+            config=config or self.config,
+            sample_config=sample_config,
+            evaluator=self.evaluator,
+            core=core,
+            samples=samples,
+        )
+        pipeline = CompilePipeline(
+            skip=skip, replace=replace, before=before, after=after
+        )
+        with self._oracle_lock:
+            return pipeline.run(ctx)
+
+    def compile(
+        self,
+        core: FPCore | str,
+        target: Target | str,
+        *,
+        config: CompileConfig | None = None,
+        sample_config: SampleConfig | None = None,
+        samples: SampleSet | None = None,
+        skip: tuple[str, ...] | list[str] = (),
+        replace: dict[str, Phase] | None = None,
+        before: PhaseHook | None = None,
+        after: PhaseHook | None = None,
+        use_cache: bool = True,
+    ) -> CompileResult:
+        """Compile one benchmark for one target through the warm session.
+
+        Checks the persistent cache first, then runs the phase pipeline
+        and stores the fresh result.  Customized calls never touch the
+        cache: a ``skip``/``replace`` pipeline's product is not a full
+        compilation, caller-supplied ``samples`` are not provably the
+        seeded ones the fingerprint describes (unlike ``compile_many``,
+        which documents that contract, this method stays safe by
+        bypassing instead), and ``before``/``after`` hooks must actually
+        observe phases running (a cache hit runs none) and may mutate the
+        context.
+        """
+        payload, cached, _fingerprint, result = self._compile_entry(
+            core, target,
+            config=config, sample_config=sample_config, samples=samples,
+            skip=tuple(skip), replace=replace, before=before, after=after,
+            use_cache=use_cache,
+        )
+        if result is None:
+            result = result_from_dict(payload, self.resolve_target(target))
+        return result
+
+    def compile_payload(
+        self,
+        core: FPCore | str,
+        target: Target | str,
+        *,
+        config: CompileConfig | None = None,
+        sample_config: SampleConfig | None = None,
+    ) -> tuple[dict, bool]:
+        """Like :meth:`compile` but returns ``(payload, cached)``.
+
+        The payload is the serialized-result dict (the cache layout); on a
+        warm hit it is returned exactly as stored, so two identical
+        requests serialize to byte-identical JSON — the contract the
+        ``repro serve`` front-end exposes on the wire.
+        """
+        payload, cached, _fingerprint, _result = self._compile_entry(
+            core, target, config=config, sample_config=sample_config,
+            samples=None, skip=(), replace=None, before=None, after=None,
+            use_cache=True,
+        )
+        return payload, cached
+
+    def _compile_entry(
+        self, core, target, *, config, sample_config, samples,
+        skip, replace, before, after, use_cache,
+    ) -> tuple[dict, bool, str, CompileResult | None]:
+        target = self.resolve_target(target)
+        core = self.parse(core, target)
+        config = config or self.config
+        sample_config = sample_config or self.sample_config
+        customized = (
+            bool(skip) or bool(replace) or samples is not None
+            or before is not None or after is not None
+        )
+        fingerprint = job_fingerprint(core, target, config, sample_config)
+        cacheable = self.cache is not None and use_cache and not customized
+
+        if cacheable:
+            payload = self.cache.get(fingerprint)
+            if payload is not None:
+                with self._lock:
+                    self.stats.cache_hits += 1
+                return payload, True, fingerprint, None
+
+        with self._oracle_lock:
+            if cacheable:
+                # A concurrent identical request may have compiled and
+                # stored this job while we waited for the lock; a second
+                # lookup beats redoing the whole pipeline.  (A cold
+                # compile therefore records two cache misses.)
+                payload = self.cache.get(fingerprint)
+                if payload is not None:
+                    with self._lock:
+                        self.stats.cache_hits += 1
+                    return payload, True, fingerprint, None
+            try:
+                ctx = self.run_pipeline(
+                    core, target,
+                    config=config, sample_config=sample_config, samples=samples,
+                    skip=skip, replace=replace, before=before, after=after,
+                )
+            except Exception:
+                with self._lock:
+                    self.stats.failures += 1
+                raise
+            if ctx.result is None:
+                raise PipelineError(
+                    "customized pipeline produced no CompileResult; use "
+                    "run_pipeline() for partial runs"
+                )
+            with self._lock:
+                self.stats.compiles += 1
+            payload = result_to_dict(ctx.result)
+            if cacheable:
+                # Stored before the lock is released, so a waiting
+                # duplicate's re-check above finds it.
+                self.cache.put(fingerprint, payload)
+        return payload, False, fingerprint, ctx.result
+
+    def improve(
+        self,
+        core: FPCore | str,
+        target: Target | str,
+        samples: SampleSet | None = None,
+        config: CompileConfig | None = None,
+    ) -> ParetoFrontier:
+        """Train-scored frontier only: the pipeline with *score* skipped.
+
+        What the Herbie baseline runs over the ``herbie-ir`` pseudo-target
+        (test scoring happens later, after lowering onto real targets).
+        The transcribe phase is skipped too: its product is only ever
+        consumed by the score phase.
+        """
+        ctx = self.run_pipeline(
+            core, target, config=config, samples=samples,
+            skip=("transcribe", "score"),
+        )
+        return ctx.train_frontier
+
+    def score(
+        self,
+        core: FPCore | str,
+        target: Target | str,
+        program=None,
+        sample_config: SampleConfig | None = None,
+    ) -> float:
+        """Mean bits of error of ``program`` (default: the transcribed
+        input) on ``core``'s test points, via the session's sample cache."""
+        target = self.resolve_target(target)
+        core = self.parse(core, target)
+        samples = self.samples_for(core, sample_config)
+        if isinstance(program, str):
+            program = parse_expr(program, known_ops=set(target.operators))
+        if program is None:
+            from .core.transcribe import transcribe
+
+            program = transcribe(core.body, target, core.precision)
+        return score_program(
+            program, target, samples.test, samples.test_exact, core.precision
+        )
+
+    # --- batch + async --------------------------------------------------------------
+
+    def compile_many(
+        self,
+        specs: list[JobSpec],
+        *,
+        config: CompileConfig | None = None,
+        sample_config: SampleConfig | None = None,
+        jobs: int | None = None,
+        timeout: float | None = None,
+        progress=None,
+    ) -> list[JobOutcome]:
+        """Batch compilation through the session's pool, cache and knobs.
+
+        Same contract as the engine it drives
+        (:func:`repro.service.api.run_compile_jobs`): outcomes in spec
+        order, expected failures captured per job, warm cache hits flagged.
+
+        The engine executes cache misses inline in this thread (``jobs=1``,
+        single-job batches, or non-registry targets at any width) and
+        configures them via module-global worker state; the session's
+        oracle lock is passed down so exactly those inline sections are
+        serialized against concurrent compiles, while pool-dispatched work
+        (separate processes) runs unlocked.
+        """
+        with self._lock:
+            self.stats.batches += 1
+        return run_compile_jobs(
+            specs,
+            config=config or self.config,
+            sample_config=sample_config or self.sample_config,
+            jobs=self.jobs if jobs is None else jobs,
+            cache=self.cache,
+            timeout=self.timeout if timeout is None else timeout,
+            progress=progress,
+            inline_lock=self._oracle_lock,
+        )
+
+    def submit(
+        self, core: FPCore | str, target: Target | str, **compile_kwargs
+    ) -> JobHandle:
+        """Start one compilation in the background; returns a handle.
+
+        The handle's :meth:`JobHandle.result` yields the same
+        :class:`CompileResult` a synchronous :meth:`compile` would; the
+        persistent cache and sample cache are shared, so submitting a
+        duplicate of a finished job completes instantly.
+        """
+        target_resolved = self.resolve_target(target)
+        core_parsed = self.parse(core, target_resolved)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("session is closed")
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.jobs, thread_name_prefix="chassis-session"
+                )
+            self.stats.submitted += 1
+            future = self._executor.submit(
+                self.compile, core_parsed, target_resolved, **compile_kwargs
+            )
+        return JobHandle(
+            benchmark=core_parsed.name or "<anonymous>",
+            target=target_resolved.name,
+            _future=future,
+        )
+
+    # --- introspection / lifecycle --------------------------------------------------
+
+    def targets_info(self) -> list[dict]:
+        """JSON-able description of every registered target (``/targets``)."""
+        return [
+            {
+                "name": target.name,
+                "operators": len(target.operators),
+                "linkage": target.linkage,
+                "if_style": target.if_style,
+                "cost_source": target.cost_source,
+                "description": target.description,
+            }
+            for target in all_targets()
+        ]
+
+    def close(self) -> None:
+        """Drain the submit pool; the session stays usable for sync calls."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+            self._closed = True
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "ChassisSession":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
