@@ -14,6 +14,7 @@ import math
 import random
 from dataclasses import dataclass, field
 
+from ..deadline import check_deadline
 from ..ir.fpcore import FPCore
 from ..ir.types import F32, F64
 from ..rival.eval import RivalEvaluator
@@ -184,6 +185,7 @@ def sample_core(
     batch_size = max(wanted, 32)
     for _batch in range(config.max_batches):
         for _ in range(batch_size):
+            check_deadline()  # oracle evaluation dominates; poll per draw
             attempts += 1
             point = {
                 name: _random_in_range(rng, ranges[name], core.precision)

@@ -25,6 +25,7 @@ The historical one-shot entry points ``repro.compile_fpcore`` and
 
 from .accuracy.sampler import SampleConfig, SampleSet, SamplingError
 from .core.loop import CompileConfig
+from .deadline import DeadlineExceeded, check_deadline, deadline
 from .core.pipeline import (
     PHASE_NAMES,
     CompilePipeline,
@@ -39,7 +40,8 @@ from .core.transcribe import Untranscribable
 from .ir.fpcore import FPCore, parse_fpcore, parse_fpcores
 from .service.api import JobSpec, run_compile_jobs
 from .service.cache import CompileCache, job_fingerprint
-from .service.scheduler import JobOutcome
+from .service.pool import WorkerPool
+from .service.scheduler import JobOutcome, JobTimeout
 from .service.server import create_server, serve
 from .session import ChassisSession, JobHandle, SessionStats
 from .targets import Target, all_targets, get_target
@@ -64,9 +66,15 @@ __all__ = [
     "SampleSet",
     "SamplingError",
     "Untranscribable",
+    # deadlines
+    "DeadlineExceeded",
+    "deadline",
+    "check_deadline",
     # batch service
     "JobSpec",
     "JobOutcome",
+    "JobTimeout",
+    "WorkerPool",
     "CompileCache",
     "job_fingerprint",
     "run_compile_jobs",

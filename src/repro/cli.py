@@ -194,15 +194,6 @@ def _cmd_serve(args) -> int:
         raise SystemExit("--timeout must be positive (seconds)")
     if args.jobs < 1:
         raise SystemExit("--jobs must be >= 1")
-    if args.timeout is not None:
-        # SIGALRM timeouts arm only in worker processes (and main threads);
-        # serve handlers are threads, so inline compiles run unbounded.
-        print(
-            "warning: --timeout bounds only /batch jobs dispatched to "
-            "worker processes (--jobs >= 2, multi-job batches); /compile "
-            "and /score requests run inline in server threads, unbounded",
-            file=sys.stderr,
-        )
     session = ChassisSession(
         config=CompileConfig(iterations=args.iterations),
         sample_config=SampleConfig(
@@ -298,13 +289,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="persistent result cache directory (omit to disable caching)",
     )
-    p_serve.add_argument("--jobs", type=int, default=1, help="batch worker processes")
+    p_serve.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="width of the persistent worker pool shared by /batch requests "
+        "(>= 2 keeps warm worker processes across requests)",
+    )
     p_serve.add_argument(
         "--timeout",
         type=float,
         default=None,
-        help="per-job compile timeout for pool-dispatched /batch jobs "
-        "(seconds; needs --jobs >= 2 — inline compiles run unbounded)",
+        help="per-job compile timeout in seconds; binds pool workers and "
+        "inline /compile-in-handler-thread requests alike (clients may "
+        "override per request with a 'timeout' field)",
     )
     p_serve.add_argument("--iterations", type=int, default=2)
     p_serve.add_argument("--points", type=int, default=48)

@@ -22,6 +22,7 @@ from ..ir.expr import Expr
 from ..ir.fpcore import FPCore
 from ..rival.eval import RivalEvaluator
 from ..targets.target import Target
+from ..deadline import check_deadline
 from .candidates import Candidate, ParetoFrontier
 from .isel import DEFAULT_ISEL_LIMITS, instruction_select
 from .regimes import infer_regimes
@@ -169,6 +170,7 @@ class ImprovementLoop:
         frontier = ParetoFrontier([self.score(initial, "initial")])
 
         for _iteration in range(self.config.iterations):
+            check_deadline()
             work = self._select_work(frontier)
             if not work:
                 break
@@ -177,6 +179,7 @@ class ImprovementLoop:
             for candidate in work:
                 self._expanded.add(candidate.program)
                 for path in self.localize(candidate.program):
+                    check_deadline()
                     for variant in self.variants_for(candidate.program, path):
                         new_program = candidate.program.replace_at(path, variant)
                         if new_program in seen or new_program == candidate.program:

@@ -31,6 +31,7 @@ from ..ir.expr import Expr
 from ..ir.fpcore import FPCore, parse_fpcore
 from ..rival.eval import RivalEvaluator
 from ..targets.target import Target
+from ..deadline import check_deadline
 from .candidates import Candidate, ParetoFrontier
 from .loop import CompileConfig, ImprovementLoop
 from .transcribe import Untranscribable, transcribe, transcribe_with_poly
@@ -192,6 +193,7 @@ class ScorePhase:
 
         ctx.test_frontier = ParetoFrontier()
         for candidate in train_frontier:
+            check_deadline()
             error = score_program(
                 candidate.program, ctx.target, samples.test,
                 samples.test_exact, core.precision,
@@ -272,8 +274,15 @@ class CompilePipeline:
         self.after = after
 
     def run(self, ctx: PipelineContext) -> PipelineContext:
-        """Run every phase in order over ``ctx``; returns ``ctx``."""
+        """Run every phase in order over ``ctx``; returns ``ctx``.
+
+        Phase boundaries are cancellation points: when the calling thread
+        armed a :func:`~repro.core.deadline.deadline`, an expired budget
+        raises :class:`~repro.core.deadline.DeadlineExceeded` here (the
+        long-running phases also poll internally).
+        """
         for phase in self.phases:
+            check_deadline()
             if self.before is not None:
                 self.before(phase.name, ctx)
             phase.run(ctx)

@@ -49,7 +49,13 @@ class ExperimentConfig:
     session: ChassisSession | None = field(default=None, repr=False)
 
     def get_session(self) -> ChassisSession:
-        """This experiment's session (created on first use)."""
+        """This experiment's session (created on first use).
+
+        With ``jobs >= 2`` the session owns a *persistent* worker pool:
+        every ``compile_all`` across every runner sharing this config
+        reuses the same warm worker processes instead of rebuilding a pool
+        per batch.  Call :meth:`close` when the experiments are done.
+        """
         if self.session is None:
             self.session = ChassisSession(
                 config=self.compile_config,
@@ -59,6 +65,13 @@ class ExperimentConfig:
                 timeout=self.timeout,
             )
         return self.session
+
+    def close(self) -> None:
+        """Drain the session's submit executor and worker pool (no-op if
+        no session was ever created; the session stays usable for
+        synchronous calls)."""
+        if self.session is not None:
+            self.session.close()
 
     def compile_all(self, specs):
         """Run (core, target[, samples]) specs through the session's pool.

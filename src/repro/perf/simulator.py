@@ -24,6 +24,7 @@ which is exactly the information regime of the paper (figure 10).
 from __future__ import annotations
 
 import math
+import weakref
 import zlib
 from typing import Mapping
 
@@ -65,11 +66,26 @@ def _jitter(key: tuple, spread: float = 0.05) -> float:
 
 
 class PerfSimulator:
-    """Simulates the run time (ns) of float programs on a target."""
+    """Simulates the run time (ns) of float programs on a target.
+
+    Holds its target *weakly*: simulators are cached per target by
+    :meth:`repro.session.ChassisSession.simulator` under ``id(target)``
+    with a ``weakref.finalize`` eviction, and a strong back-reference here
+    would pin every custom target a long-lived session ever saw.  Callers
+    always own the target they simulate on, so the reference is live for
+    any legitimate use.
+    """
 
     def __init__(self, target: Target):
-        self.target = target
+        self._target_ref = weakref.ref(target)
         self._impls = target.impl_registry()
+
+    @property
+    def target(self) -> Target:
+        target = self._target_ref()
+        if target is None:  # pragma: no cover - requires caller misuse
+            raise ReferenceError("PerfSimulator outlived its Target")
+        return target
 
     # --- public API ---------------------------------------------------------------
 

@@ -6,6 +6,7 @@ The production-facing subsystem layered over the phase pipeline
 * :mod:`repro.service.cache`     — content-addressed persistent cache
 * :mod:`repro.service.results`   — JSON round-trip of CompileResult
 * :mod:`repro.service.scheduler` — multiprocessing job scheduler
+* :mod:`repro.service.pool`      — session-owned persistent worker pool
 * :mod:`repro.service.api`       — the :func:`run_compile_jobs` engine
   (plus the deprecated :func:`compile_many` shim)
 * :mod:`repro.service.batch`     — the ``repro batch`` CLI command
@@ -25,8 +26,9 @@ from .cache import (
     sample_fingerprint,
     target_fingerprint,
 )
+from .pool import WorkerPool
 from .results import result_from_dict, result_to_dict
-from .scheduler import BatchJob, BatchScheduler, JobOutcome, job_event
+from .scheduler import BatchJob, BatchScheduler, JobOutcome, JobTimeout, job_event
 
 __all__ = [
     "compile_many",
@@ -45,5 +47,7 @@ __all__ = [
     "BatchJob",
     "BatchScheduler",
     "JobOutcome",
+    "JobTimeout",
+    "WorkerPool",
     "job_event",
 ]

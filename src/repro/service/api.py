@@ -73,6 +73,7 @@ def run_compile_jobs(
     timeout: float | None = None,
     progress=None,
     inline_lock=None,
+    pool=None,
 ) -> list[JobOutcome]:
     """Compile many (benchmark, target) pairs; returns outcomes in order.
 
@@ -84,13 +85,18 @@ def run_compile_jobs(
 
     ``cache`` may be a :class:`CompileCache` or a directory path; ``None``
     disables caching.  ``jobs`` is the worker-pool width; ``timeout``
-    bounds each individual compilation in seconds.
+    bounds each individual compilation in seconds.  ``pool``, when given,
+    is a persistent :class:`~repro.service.pool.WorkerPool` that
+    registry-target cache misses are dispatched through — even single-job
+    batches, since its workers are already warm — instead of building a
+    throwaway pool (sessions with ``jobs >= 2`` pass their own).
 
-    Cache misses may run *inline* in the calling thread (``jobs=1``,
-    single-job batches, non-registry targets), configured through
-    module-global worker state — and mpmath precision is process-global —
-    so concurrent callers must pass the same ``inline_lock`` to serialize
-    those sections (pool-dispatched work is unaffected).  Going through
+    Cache misses may run *inline* in the calling thread (``jobs=1`` with
+    no pool, single-job pool-less batches, non-registry targets at any
+    width), configured through module-global worker state — and mpmath
+    precision is process-global — so concurrent callers must pass the same
+    ``inline_lock`` to serialize those sections (pool-dispatched work is
+    unaffected).  Going through
     :meth:`repro.api.ChassisSession.compile_many` does this for you.
     """
     config = config or CompileConfig()
@@ -142,7 +148,8 @@ def run_compile_jobs(
         scheduler = BatchScheduler(jobs=jobs, timeout=timeout)
         raw.extend(
             scheduler.run(
-                pool_batch, config, sample_config, progress, inline_lock=inline_lock
+                pool_batch, config, sample_config, progress,
+                inline_lock=inline_lock, pool=pool,
             )
         )
     if inline_jobs:

@@ -107,8 +107,7 @@ def cmd_batch(args) -> int:
         raise SystemExit("--jobs must be >= 1")
     cores = select_cores(args)
     target_names = select_targets(args)
-    specs = [(core, name) for name in target_names for core in cores]
-    if not specs:
+    if not cores or not target_names:
         raise SystemExit("nothing to compile: empty benchmark or target selection")
 
     from ..session import ChassisSession
@@ -122,6 +121,16 @@ def cmd_batch(args) -> int:
         jobs=args.jobs,
         timeout=args.timeout,
     )
+
+    # Multi-target batches sample each benchmark once and share the
+    # points across targets; see ChassisSession.shared_samples_for for
+    # the warm-cache and failure-capture rules.
+    shared_samples = session.shared_samples_for(cores, target_names)
+    specs = [
+        (core, name, samples)
+        for name in target_names
+        for core, samples in zip(cores, shared_samples)
+    ]
 
     def progress(outcome: dict) -> None:
         if not args.quiet:
@@ -141,6 +150,7 @@ def cmd_batch(args) -> int:
         file=sys.stderr,
     )
     outcomes = session.compile_many(specs, progress=progress)
+    session.close()  # drain the persistent worker pool (if one was built)
 
     counts = {"ok": 0, "failed": 0, "timeout": 0}
     compiled = cached = 0

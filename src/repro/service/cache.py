@@ -20,6 +20,7 @@ import hashlib
 import json
 import os
 import tempfile
+import weakref
 from dataclasses import dataclass
 from fractions import Fraction
 from pathlib import Path
@@ -95,10 +96,13 @@ def sample_fingerprint(core: FPCore, sample_config: SampleConfig | None = None) 
 
 
 # Targets are frozen; digesting one walks its whole operator table, so the
-# digest is cached per instance (same keepalive idiom as Target's impl
-# registry cache).
+# digest is cached per instance, keyed by id() (targets are unhashable).
+# A weakref.finalize evicts the entry when its target is collected: the
+# eviction both bounds the cache in long-lived sessions (it used to retain
+# a keepalive reference to every Target ever fingerprinted) and prevents a
+# recycled id() from ever serving a dead target's digest.  Same idiom as
+# Target's impl-registry cache.
 _TARGET_FP_CACHE: dict[int, str] = {}
-_TARGET_FP_KEEPALIVE: list[Target] = []
 
 
 def target_fingerprint(target: Target) -> str:
@@ -132,7 +136,7 @@ def target_fingerprint(target: Target) -> str:
         target.output_format,
     )
     _TARGET_FP_CACHE[id(target)] = fingerprint
-    _TARGET_FP_KEEPALIVE.append(target)
+    weakref.finalize(target, _TARGET_FP_CACHE.pop, id(target), None)
     return fingerprint
 
 
@@ -231,6 +235,13 @@ class CompileCache:
             return None
         self.stats.hits += 1
         return payload
+
+    def contains(self, key: str) -> bool:
+        """Stat-free existence probe (no hit/miss accounting, no payload
+        validation).  Lets batch front-ends decide whether pre-sampling is
+        worth doing without perturbing the counters the engine's real
+        lookups record."""
+        return self._path(key).exists()
 
     def put(self, key: str, payload: dict) -> None:
         """Store one entry atomically (write-to-temp, rename)."""

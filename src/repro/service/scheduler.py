@@ -16,10 +16,18 @@ Guarantees:
   :class:`~repro.accuracy.sampler.SamplingError` are recorded per job (the
   paper's protocol removes such pairs; callers decide), never swallowed and
   never fatal to the batch.
-* **Per-job timeouts** — enforced *inside* the worker via ``SIGALRM`` so a
-  hung compilation frees its pool slot instead of wedging the batch.
+* **Per-job timeouts** — enforced by a thread-safe cooperative deadline
+  (:mod:`repro.deadline`, polled at phase/iteration/sampling boundaries)
+  plus ``SIGALRM`` as a hard backstop wherever the job runs in a process's
+  main thread (worker processes always do), so a hung compilation frees
+  its pool slot instead of wedging the batch — and inline jobs running on
+  *non-main* threads (serve handlers, ``submit`` workers) are bounded too.
 * ``jobs=1`` runs inline in the calling process through the exact same
   job function, so serial and parallel runs produce identical reports.
+
+Long-lived callers should prefer a session-owned persistent
+:class:`~repro.service.pool.WorkerPool` (pass it to :meth:`BatchScheduler.run`)
+over the ad-hoc per-batch pool this module otherwise builds.
 """
 
 from __future__ import annotations
@@ -34,6 +42,7 @@ from ..accuracy.sampler import SampleConfig, SamplingError
 from ..core.loop import CompileConfig
 from ..core.pipeline import compile_core
 from ..core.transcribe import Untranscribable
+from ..deadline import DeadlineExceeded, deadline
 from ..ir.fpcore import parse_fpcore
 from ..targets import get_target
 from .results import result_to_dict
@@ -43,13 +52,13 @@ from .results import result_to_dict
 EXPECTED_FAILURES = (Untranscribable, SamplingError)
 
 
-class JobTimeout(BaseException):
+class JobTimeout(DeadlineExceeded):
     """A single compilation exceeded its time budget.
 
-    Derives from BaseException on purpose: the sampler and e-graph code
-    use broad ``except Exception`` guards around per-point evaluation,
-    which would otherwise swallow the alarm and let a timed-out job run
-    to completion.
+    Derives (via :class:`~repro.deadline.DeadlineExceeded`) from
+    BaseException on purpose: the sampler and e-graph code use broad
+    ``except Exception`` guards around per-point evaluation, which would
+    otherwise swallow the alarm and let a timed-out job run to completion.
     """
 
 
@@ -96,6 +105,10 @@ class BatchJob:
     #: ``sample_core(core, sample_config)`` would produce — the cache
     #: fingerprint assumes samples are a pure function of those two.
     samples: object | None = None
+    #: Per-job timeout (seconds); overrides the worker-state default when
+    #: set.  Riding on the job keeps persistent-pool workers reusable
+    #: across batches with different timeout knobs.
+    timeout: float | None = None
 
 
 @dataclass
@@ -146,16 +159,20 @@ def run_job(job: BatchJob, target=None) -> dict:
 
     config: CompileConfig = _WORKER_STATE["config"]
     sample_config: SampleConfig = _WORKER_STATE["sample_config"]
-    timeout: float | None = _WORKER_STATE.get("timeout")
+    timeout: float | None = (
+        job.timeout if job.timeout is not None else _WORKER_STATE.get("timeout")
+    )
 
     if target is None:
         target = get_target(job.target_name)
     core = parse_fpcore(job.core_source, known_ops=set(target.operators))
     outcome = job_event(job.index, core.name or "<anonymous>", target.name)
 
-    # SIGALRM only works in the main thread; off-main-thread callers (e.g.
-    # a notebook executor driving compile_many inline) run unbounded rather
-    # than crashing in signal.signal.
+    # The cooperative deadline (armed below) bounds the compile on any
+    # thread; SIGALRM rides along as a hard backstop, but it only arms in
+    # the main thread — off-main-thread callers (serve handler threads,
+    # submit workers) rely on the deadline alone rather than crashing in
+    # signal.signal.
     use_alarm = (
         timeout is not None
         and hasattr(signal, "SIGALRM")
@@ -168,9 +185,10 @@ def run_job(job: BatchJob, target=None) -> dict:
     result = None
     try:
         try:
-            result = compile_core(
-                core, target, config, sample_config, samples=job.samples
-            )
+            with deadline(timeout):
+                result = compile_core(
+                    core, target, config, sample_config, samples=job.samples
+                )
         except EXPECTED_FAILURES as error:
             outcome["status"] = "failed"
             outcome["error_type"] = type(error).__name__
@@ -183,12 +201,13 @@ def run_job(job: BatchJob, target=None) -> dict:
             if use_alarm:
                 signal.setitimer(signal.ITIMER_REAL, 0.0)
                 signal.signal(signal.SIGALRM, previous)
-    except JobTimeout:
-        # The alarm may fire anywhere in the region above — mid-compile,
-        # inside an except handler, or even inside the finally before the
-        # disarm completes — so the timeout is caught out here, after the
-        # finally has run, and the job is recorded rather than the whole
-        # batch dying on an escaped BaseException.
+    except DeadlineExceeded:
+        # The alarm (or a cooperative check) may fire anywhere in the
+        # region above — mid-compile, inside an except handler, or even
+        # inside the finally before the disarm completes — so the timeout
+        # is caught out here, after the finally has run, and the job is
+        # recorded rather than the whole batch dying on an escaped
+        # BaseException.
         outcome["status"] = "timeout"
         outcome["error_type"] = "JobTimeout"
         outcome["error"] = f"exceeded {timeout}s"
@@ -240,18 +259,27 @@ class BatchScheduler:
         sample_config: SampleConfig | None = None,
         progress=None,
         inline_lock=None,
+        pool=None,
     ) -> list[dict]:
         """Execute every job; returns outcome dicts sorted by job index.
 
         ``progress``, when given, is called with each outcome dict as it
         completes (pool order — not deterministic; the return value is).
         ``inline_lock`` is held around serial in-process execution (see
-        :func:`repro.service.api.run_compile_jobs`).
+        :func:`repro.service.api.run_compile_jobs`).  ``pool``, when given,
+        is a persistent :class:`~repro.service.pool.WorkerPool` that all
+        jobs (even single-job batches — its workers are already warm) are
+        dispatched through instead of a per-batch throwaway pool.
         """
         config = config or CompileConfig()
         sample_config = sample_config or SampleConfig()
         outcomes: list[dict] = []
-        if self.jobs == 1 or len(batch) <= 1:
+        if pool is not None:
+            outcomes = pool.run_batch(
+                batch, config, sample_config, timeout=self.timeout,
+                progress=progress,
+            )
+        elif self.jobs == 1 or len(batch) <= 1:
             with inline_lock if inline_lock is not None else nullcontext():
                 _worker_init(config, sample_config, self.timeout)
                 for job in batch:

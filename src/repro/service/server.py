@@ -7,23 +7,29 @@ result cache instead of paying process start-up per compilation.
 
 Endpoints (all bodies JSON):
 
-* ``GET  /health``  — liveness plus session/cache statistics.
+* ``GET  /health``  — liveness plus session/cache/worker-pool statistics.
 * ``GET  /targets`` — the registered target descriptions (figure 6 data).
 * ``POST /compile`` — ``{"core": "<FPCore src>", "target": "c99"}`` plus
-  optional ``iterations``/``points``/``seed`` knobs.  Responds with
-  ``{"status": "ok", ..., "result": <payload>}``; an identical second
+  optional ``iterations``/``points``/``seed``/``timeout`` knobs.  Responds
+  with ``{"status": "ok", ..., "result": <payload>}``; an identical second
   request is served from the warm cache with a **byte-identical** body
   (the ``X-Repro-Cached`` header is the only difference).
 * ``POST /batch``   — ``{"cores": [...], "targets": [...]}``; the cross
-  product through the session's pool + cache, reported in the same row
-  shape as ``repro batch --report``.
+  product through the session's *persistent* worker pool + cache (each
+  benchmark sampled once, shared across targets), reported in the same
+  row shape as ``repro batch --report``.
 * ``POST /score``   — ``{"core": ..., "target": ..., "program": ...?}``;
   mean bits of error of a program (default: the transcribed input).
 
 Malformed requests (bad JSON, missing/unknown fields, unparseable cores)
 get a 4xx with ``{"error": ...}``; infeasible benchmark/target pairs are
 *data*, not errors, and come back 200 with ``"status": "failed"`` exactly
-like batch outcomes.
+like batch outcomes.  Compilations that exceed their deadline — the
+session ``--timeout`` or a per-request ``timeout`` knob, enforced by a
+thread-safe cooperative deadline even for inline compiles in handler
+threads — come back 200 with ``"status": "timeout"`` the same way.  A
+per-connection socket timeout stops dead keep-alive peers from pinning
+handler threads.
 """
 
 from __future__ import annotations
@@ -36,12 +42,18 @@ from urllib.parse import urlparse
 
 from ..accuracy.sampler import SamplingError
 from ..core.transcribe import Untranscribable
+from ..deadline import DeadlineExceeded
 from ..ir.parser import parse_expr
 from ..targets import TARGET_NAMES
 from .batch import report_line
 
 #: Request-size ceiling (bytes): far above any benchmark, far below a DoS.
 MAX_BODY_BYTES = 4 * 1024 * 1024
+
+#: Default per-connection socket timeout (seconds): a dead keep-alive peer
+#: must not pin a handler thread forever.  Only socket reads/writes count
+#: against it — a long compile between them does not.
+REQUEST_SOCKET_TIMEOUT = 60.0
 
 
 class RequestError(ValueError):
@@ -66,6 +78,16 @@ class ChassisRequestHandler(BaseHTTPRequestHandler):
 
     server_version = "repro-serve/1"
     protocol_version = "HTTP/1.1"
+    #: Per-connection socket timeout; BaseHTTPRequestHandler applies it via
+    #: ``connection.settimeout`` in setup(), and handle_one_request treats
+    #: an expiry while awaiting the next request line as connection close.
+    timeout = REQUEST_SOCKET_TIMEOUT
+
+    def setup(self):
+        self.timeout = getattr(
+            self.server, "request_timeout", REQUEST_SOCKET_TIMEOUT
+        )
+        super().setup()
 
     @property
     def session(self):
@@ -134,6 +156,19 @@ class ChassisRequestHandler(BaseHTTPRequestHandler):
             )
         return config, sample_config
 
+    def _timeout_from(self, body: dict) -> float | None:
+        """Optional per-request ``timeout`` knob (seconds; None = session
+        default).  The thread-safe deadline makes this honest for inline
+        compiles in handler threads, not just pool-dispatched jobs."""
+        if "timeout" not in body:
+            return None
+        timeout = body["timeout"]
+        if isinstance(timeout, bool) or not isinstance(timeout, (int, float)):
+            raise RequestError("field 'timeout' must be a number (seconds)")
+        if timeout <= 0:
+            raise RequestError("timeout must be positive")
+        return float(timeout)
+
     def _parse_core(self, source: str, target):
         try:
             return self.session.parse(source, target)
@@ -157,6 +192,7 @@ class ChassisRequestHandler(BaseHTTPRequestHandler):
                 "ok": True,
                 "stats": session.stats.as_dict(),
                 "cache": session.cache.stats.as_dict() if session.cache else None,
+                "pool": session.pool_info(),
             })
         elif path == "/targets":
             self._send_json(200, {"targets": self.session.targets_info()})
@@ -177,6 +213,18 @@ class ChassisRequestHandler(BaseHTTPRequestHandler):
             handler(self._read_body())
         except RequestError as error:
             self._send_json(error.status, {"error": str(error)})
+        except TimeoutError:
+            # The peer stalled mid-request (socket timeout): the connection
+            # is beyond saving, so release the handler thread quietly.
+            self.close_connection = True
+        except DeadlineExceeded as error:
+            # Like a failed benchmark/target pair, a timeout is data, not a
+            # server error (routes with more context respond before this).
+            self._send_json(200, {
+                "status": "timeout",
+                "error_type": "JobTimeout",
+                "error": str(error) or "compilation deadline exceeded",
+            })
         except Exception as error:  # noqa: BLE001 - a bug must not kill the server
             self._send_json(
                 500, {"error": str(error), "error_type": type(error).__name__}
@@ -186,10 +234,12 @@ class ChassisRequestHandler(BaseHTTPRequestHandler):
         target = self._resolve_target(_require(body, "target", str))
         core = self._parse_core(_require(body, "core", str), target)
         config, sample_config = self._configs_from(body)
+        timeout = self._timeout_from(body)
         benchmark = core.name or "<anonymous>"
         try:
             payload, cached = self.session.compile_payload(
-                core, target, config=config, sample_config=sample_config
+                core, target, config=config, sample_config=sample_config,
+                timeout=timeout,
             )
         except (Untranscribable, SamplingError) as error:
             self._send_json(200, {
@@ -198,6 +248,18 @@ class ChassisRequestHandler(BaseHTTPRequestHandler):
                 "target": target.name,
                 "error_type": type(error).__name__,
                 "error": str(error),
+            }, headers={"X-Repro-Cached": "0"})
+            return
+        except DeadlineExceeded:
+            # Inline compiles run in this handler thread; the cooperative
+            # deadline bounds them even though SIGALRM cannot arm here.
+            effective = timeout if timeout is not None else self.session.timeout
+            self._send_json(200, {
+                "status": "timeout",
+                "benchmark": benchmark,
+                "target": target.name,
+                "error_type": "JobTimeout",
+                "error": f"exceeded {effective}s",
             }, headers={"X-Repro-Cached": "0"})
             return
         # The body is built from the stored payload, so a warm repeat of an
@@ -221,16 +283,30 @@ class ChassisRequestHandler(BaseHTTPRequestHandler):
         targets = [self._resolve_target(name) for name in target_names]
         cores = [self._parse_core(source, None) for source in sources]
         config, sample_config = self._configs_from(body)
+        timeout = self._timeout_from(body)
+        # Multi-target batches sample each benchmark once and share the
+        # points across targets; see ChassisSession.shared_samples_for
+        # for the warm-cache and failure-capture rules.
+        shared_samples = self.session.shared_samples_for(
+            cores, targets,
+            config=config, sample_config=sample_config, timeout=timeout,
+        )
         outcomes = self.session.compile_many(
-            [(core, target) for target in targets for core in cores],
+            [
+                (core, target, samples)
+                for target in targets
+                for core, samples in zip(cores, shared_samples)
+            ],
             config=config,
             sample_config=sample_config,
+            timeout=timeout,
         )
         self._send_json(200, {
             "outcomes": [report_line(outcome) for outcome in outcomes],
             "summary": {
                 "ok": sum(o.ok for o in outcomes),
-                "failed": sum(not o.ok for o in outcomes),
+                "failed": sum(o.status == "failed" for o in outcomes),
+                "timeout": sum(o.status == "timeout" for o in outcomes),
                 "cached": sum(o.cached for o in outcomes),
             },
         })
@@ -268,14 +344,28 @@ class ChassisServer(ThreadingHTTPServer):
 
     daemon_threads = True
 
-    def __init__(self, address, session, verbose: bool = False):
+    def __init__(
+        self,
+        address,
+        session,
+        verbose: bool = False,
+        request_timeout: float | None = REQUEST_SOCKET_TIMEOUT,
+    ):
         super().__init__(address, ChassisRequestHandler)
         self.session = session
         self.verbose = verbose
+        #: Per-connection socket timeout (None disables); handlers read it
+        #: in setup().  Guards against stalled keep-alive peers, not
+        #: against long compiles.
+        self.request_timeout = request_timeout
 
 
 def create_server(
-    session=None, host: str = "127.0.0.1", port: int = 0, verbose: bool = False
+    session=None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+    request_timeout: float | None = REQUEST_SOCKET_TIMEOUT,
 ) -> ChassisServer:
     """Build (but do not start) a server; ``port=0`` picks a free port.
 
@@ -287,7 +377,9 @@ def create_server(
         from ..session import ChassisSession
 
         session = ChassisSession()
-    return ChassisServer((host, port), session, verbose=verbose)
+    return ChassisServer(
+        (host, port), session, verbose=verbose, request_timeout=request_timeout
+    )
 
 
 def serve(
@@ -307,18 +399,40 @@ def serve(
     def _terminate(_signum, _frame):
         raise KeyboardInterrupt
 
-    try:
-        import signal
+    def _set_handlers(handler):
+        try:
+            import signal
 
-        signal.signal(signal.SIGTERM, _terminate)
-    except (ValueError, OSError, AttributeError):
-        pass  # not the main thread (tests) or no signals on this platform
+            signal.signal(signal.SIGTERM, handler)
+            signal.signal(signal.SIGINT, handler)
+        except (ValueError, OSError, AttributeError):
+            pass  # not the main thread (tests) or no signals on this platform
+
+    _set_handlers(_terminate)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
+        # A repeated SIGTERM/SIGINT (supervisors often send both, and some
+        # wrappers forward the signal twice) must not interrupt the drain:
+        # a KeyboardInterrupt raised inside pool.terminate() would orphan
+        # the teardown half-way.  But the drain can block indefinitely
+        # (e.g. a hung in-flight batch with no --timeout), so further
+        # signals mean "force quit now" rather than being ignored — the
+        # standard second-signal contract.
+        def _force_exit(_signum, _frame):
+            import os
+
+            print(
+                "repro serve: forced exit before drain completed",
+                file=sys.stderr,
+            )
+            os._exit(1)
+
+        _set_handlers(_force_exit)
         server.server_close()
         session = server.session
+        session.close()  # drain the submit executor and worker pool
         print(f"repro serve: shut down ({session.stats.as_dict()})", file=sys.stderr)
     return 0

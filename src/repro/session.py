@@ -6,7 +6,10 @@ A :class:`ChassisSession` holds, for its whole lifetime,
 * an in-memory LRU of seeded sample sets (keyed by benchmark content),
 * an optional persistent :class:`~repro.service.cache.CompileCache`,
 * per-target cost-model and performance-simulator instances,
-* the worker-pool width / per-job timeout used by batch calls,
+* a **persistent** :class:`~repro.service.pool.WorkerPool` (``jobs >= 2``):
+  warm worker processes shared by every batch call until :meth:`close`,
+* the per-job timeout, enforced everywhere — pool workers *and* inline
+  compiles on any thread — via :mod:`repro.deadline`,
 * a thread pool backing the async-style :meth:`submit`/:class:`JobHandle`.
 
 Every consumer — the CLI, ``repro serve``, the experiment runners, the
@@ -37,11 +40,12 @@ from __future__ import annotations
 
 import dataclasses
 import threading
+import weakref
 from collections import OrderedDict
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
-from .accuracy.sampler import SampleConfig, SampleSet, sample_core
+from .accuracy.sampler import SampleConfig, SampleSet, SamplingError, sample_core
 from .accuracy.scoring import score_program
 from .core.candidates import ParetoFrontier
 from .core.loop import CompileConfig
@@ -53,15 +57,18 @@ from .core.pipeline import (
     PipelineContext,
     PipelineError,
 )
+from .core.transcribe import Untranscribable
 from .cost.model import TargetCostModel
+from .deadline import DeadlineExceeded, deadline
 from .ir.fpcore import FPCore, parse_fpcore
 from .ir.parser import parse_expr
 from .perf.simulator import PerfSimulator
 from .rival.eval import RivalEvaluator
-from .service.api import JobSpec, run_compile_jobs
+from .service.api import JobSpec, _poolable, run_compile_jobs
 from .service.cache import CompileCache, job_fingerprint, sample_fingerprint
+from .service.pool import WorkerPool
 from .service.results import result_from_dict, result_to_dict
-from .service.scheduler import JobOutcome
+from .service.scheduler import JobOutcome, JobTimeout
 from .targets import all_targets, get_target
 from .targets.target import Target
 
@@ -73,6 +80,7 @@ class SessionStats:
     compiles: int = 0
     cache_hits: int = 0
     failures: int = 0
+    timeouts: int = 0
     sample_hits: int = 0
     sample_misses: int = 0
     batches: int = 0
@@ -118,7 +126,11 @@ class ChassisSession:
     oracle-backed work — sampling and the pipeline itself — is serialized
     behind another, because mpmath's working precision is process-global
     state (``mp.workprec``); concurrent in-process compilations would race
-    on it.  True parallelism is process-level, via :meth:`compile_many`.
+    on it.  True parallelism is process-level: :meth:`compile_many` and
+    registry-target :meth:`submit` jobs run on the session's persistent
+    :class:`~repro.service.pool.WorkerPool`, whose workers stay warm
+    across calls.  ``timeout`` bounds each compilation wherever it runs
+    (cooperative deadline on any thread, SIGALRM backstop in workers).
     """
 
     def __init__(
@@ -147,11 +159,15 @@ class ChassisSession:
         self._oracle_lock = threading.RLock()
         self._samples: OrderedDict[str, SampleSet] = OrderedDict()
         self._max_sample_entries = max_sample_entries
-        # Keyed by id() with a keepalive (targets are unhashable frozen
-        # objects; same idiom as the target-fingerprint cache).
+        # Keyed by id() (targets are unhashable frozen objects); entries
+        # are evicted by a weakref.finalize when their target dies, so a
+        # long-lived session does not retain every Target it ever saw —
+        # same idiom as the target-fingerprint cache.
         self._simulators: dict[int, PerfSimulator] = {}
-        self._keepalive: list[Target] = []
         self._executor: ThreadPoolExecutor | None = None
+        #: Persistent worker pool (jobs >= 2), created on first batch use
+        #: so sessions that never fan out never spawn processes.
+        self._pool: WorkerPool | None = None
         self._closed = False
 
     # --- resource resolution --------------------------------------------------------
@@ -173,35 +189,79 @@ class ChassisSession:
         return TargetCostModel(self.resolve_target(target))
 
     def simulator(self, target: Target | str) -> PerfSimulator:
-        """This session's (cached) performance simulator for ``target``."""
+        """This session's (cached) performance simulator for ``target``.
+
+        The cache entry lives exactly as long as the target: a
+        ``weakref.finalize`` evicts it when the target is collected (the
+        simulator holds its target weakly, so the cache itself never pins
+        a target a caller has dropped).
+        """
         target = self.resolve_target(target)
         with self._lock:
             simulator = self._simulators.get(id(target))
             if simulator is None:
                 simulator = self._simulators[id(target)] = PerfSimulator(target)
-                self._keepalive.append(target)
+                weakref.finalize(target, self._simulators.pop, id(target), None)
             return simulator
 
-    def samples_for(
-        self, core: FPCore, sample_config: SampleConfig | None = None
-    ) -> SampleSet:
-        """Seeded samples for one benchmark, cached across the session.
-
-        Raises :class:`~repro.accuracy.sampler.SamplingError` when too few
-        valid points exist (never cached: the retry might be configured
-        differently).
-        """
-        sample_config = sample_config or self.sample_config
-        key = sample_fingerprint(core, sample_config)
+    def _sample_cache_get(self, key: str) -> SampleSet | None:
         with self._lock:
             cached = self._samples.get(key)
             if cached is not None:
                 self._samples.move_to_end(key)
                 self.stats.sample_hits += 1
-                return cached
+            return cached
+
+    def is_cached(
+        self,
+        core: FPCore | str,
+        target: Target | str,
+        config: CompileConfig | None = None,
+        sample_config: SampleConfig | None = None,
+    ) -> bool:
+        """True when this job's full result is already in the persistent
+        cache (stat-free probe; batch front-ends use it to skip
+        pre-sampling benchmarks that will never compile)."""
+        if self.cache is None:
+            return False
+        target = self.resolve_target(target)
+        core = self.parse(core, target)
+        return self.cache.contains(job_fingerprint(
+            core, target, config or self.config, sample_config or self.sample_config
+        ))
+
+    def samples_for(
+        self,
+        core: FPCore,
+        sample_config: SampleConfig | None = None,
+        *,
+        timeout: float | None = None,
+    ) -> SampleSet:
+        """Seeded samples for one benchmark, cached across the session.
+
+        Raises :class:`~repro.accuracy.sampler.SamplingError` when too few
+        valid points exist (never cached: the retry might be configured
+        differently).  ``timeout`` overrides the session default for this
+        call; sampling past its deadline raises
+        :class:`~repro.deadline.DeadlineExceeded`.
+        """
+        sample_config = sample_config or self.sample_config
+        key = sample_fingerprint(core, sample_config)
+        cached = self._sample_cache_get(key)
+        if cached is not None:
+            return cached
+        with self._lock:
             self.stats.sample_misses += 1
         with self._oracle_lock:
-            samples = sample_core(core, sample_config, self.evaluator)
+            # A concurrent identical request may have sampled and cached
+            # this benchmark while we waited for the lock; re-checking
+            # beats re-running the oracle over every point.  (A contended
+            # duplicate therefore records one miss and one hit.)
+            cached = self._sample_cache_get(key)
+            if cached is not None:
+                return cached
+            with deadline(self.timeout if timeout is None else timeout):
+                samples = sample_core(core, sample_config, self.evaluator)
         with self._lock:
             self._samples[key] = samples
             while len(self._samples) > self._max_sample_entries:
@@ -222,17 +282,28 @@ class ChassisSession:
         replace: dict[str, Phase] | None = None,
         before: PhaseHook | None = None,
         after: PhaseHook | None = None,
+        timeout: float | None = None,
     ) -> PipelineContext:
         """Run the phase pipeline with session-owned resources; returns the
         full context (for partial runs — e.g. ``skip=("score",)`` leaves
-        ``ctx.train_frontier`` as the product)."""
+        ``ctx.train_frontier`` as the product).
+
+        ``timeout`` (default: the session's) arms a thread-safe
+        cooperative deadline around each oracle-locked section — sampling,
+        then the pipeline itself — so inline compiles are bounded on *any*
+        thread, raising :class:`~repro.deadline.DeadlineExceeded`.  The
+        deadline measures compute, not time spent queueing for the oracle
+        lock, so a burst of concurrent requests does not time each other
+        out.
+        """
+        effective_timeout = self.timeout if timeout is None else timeout
         target = self.resolve_target(target)
         sample_config = sample_config or self.sample_config
         core = self.parse(core, target)
         if samples is None and "sample" not in set(skip) and (
             replace is None or "sample" not in replace
         ):
-            samples = self.samples_for(core, sample_config)
+            samples = self.samples_for(core, sample_config, timeout=effective_timeout)
         ctx = PipelineContext(
             target=target,
             config=config or self.config,
@@ -245,7 +316,8 @@ class ChassisSession:
             skip=skip, replace=replace, before=before, after=after
         )
         with self._oracle_lock:
-            return pipeline.run(ctx)
+            with deadline(effective_timeout):
+                return pipeline.run(ctx)
 
     def compile(
         self,
@@ -260,6 +332,7 @@ class ChassisSession:
         before: PhaseHook | None = None,
         after: PhaseHook | None = None,
         use_cache: bool = True,
+        timeout: float | None = None,
     ) -> CompileResult:
         """Compile one benchmark for one target through the warm session.
 
@@ -272,12 +345,16 @@ class ChassisSession:
         bypassing instead), and ``before``/``after`` hooks must actually
         observe phases running (a cache hit runs none) and may mutate the
         context.
+
+        ``timeout`` overrides the session default for this call; running
+        past it raises :class:`~repro.deadline.DeadlineExceeded` (works
+        from any thread — serve handlers, ``submit`` workers).
         """
         payload, cached, _fingerprint, result = self._compile_entry(
             core, target,
             config=config, sample_config=sample_config, samples=samples,
             skip=tuple(skip), replace=replace, before=before, after=after,
-            use_cache=use_cache,
+            use_cache=use_cache, timeout=timeout,
         )
         if result is None:
             result = result_from_dict(payload, self.resolve_target(target))
@@ -290,6 +367,7 @@ class ChassisSession:
         *,
         config: CompileConfig | None = None,
         sample_config: SampleConfig | None = None,
+        timeout: float | None = None,
     ) -> tuple[dict, bool]:
         """Like :meth:`compile` but returns ``(payload, cached)``.
 
@@ -301,13 +379,13 @@ class ChassisSession:
         payload, cached, _fingerprint, _result = self._compile_entry(
             core, target, config=config, sample_config=sample_config,
             samples=None, skip=(), replace=None, before=None, after=None,
-            use_cache=True,
+            use_cache=True, timeout=timeout,
         )
         return payload, cached
 
     def _compile_entry(
         self, core, target, *, config, sample_config, samples,
-        skip, replace, before, after, use_cache,
+        skip, replace, before, after, use_cache, timeout=None,
     ) -> tuple[dict, bool, str, CompileResult | None]:
         target = self.resolve_target(target)
         core = self.parse(core, target)
@@ -343,7 +421,12 @@ class ChassisSession:
                     core, target,
                     config=config, sample_config=sample_config, samples=samples,
                     skip=skip, replace=replace, before=before, after=after,
+                    timeout=timeout,
                 )
+            except DeadlineExceeded:
+                with self._lock:
+                    self.stats.timeouts += 1
+                raise
             except Exception:
                 with self._lock:
                     self.stats.failures += 1
@@ -404,7 +487,83 @@ class ChassisSession:
             program, target, samples.test, samples.test_exact, core.precision
         )
 
+    def shared_samples_for(
+        self,
+        cores: list[FPCore],
+        targets: list[Target | str],
+        *,
+        config: CompileConfig | None = None,
+        sample_config: SampleConfig | None = None,
+        timeout: float | None = None,
+    ) -> list[SampleSet | None]:
+        """One shared sample set per benchmark for a ``cores x targets``
+        batch (aligned with ``cores``; the common third spec element).
+
+        Sampling is target-independent and seeded, so a multi-target batch
+        can sample each benchmark once here — through the session cache —
+        instead of every worker repeating it per target.  Entries stay
+        ``None`` (sample in the worker) for single-target batches (no
+        redundancy to remove, and workers sample in parallel), for
+        benchmarks whose every job is already in the persistent cache
+        (warm reruns must stay oracle-free), and for benchmarks that fail
+        to sample (their jobs still report per-job SamplingErrors,
+        preserving the removal protocol).  Both ``repro batch`` and the
+        serve ``/batch`` endpoint build their specs from this.
+        """
+        shared: list[SampleSet | None] = [None] * len(cores)
+        if len(targets) <= 1:
+            return shared
+        for index, core in enumerate(cores):
+            if all(
+                self.is_cached(core, target, config, sample_config)
+                for target in targets
+            ):
+                continue
+            try:
+                shared[index] = self.samples_for(
+                    core, sample_config, timeout=timeout
+                )
+            except (SamplingError, DeadlineExceeded):
+                pass
+        return shared
+
     # --- batch + async --------------------------------------------------------------
+
+    def worker_pool(self) -> WorkerPool | None:
+        """The session's persistent worker pool (None when ``jobs == 1``).
+
+        Created lazily on first use and kept warm across every batch —
+        ``compile_many``, the serve ``/batch`` endpoint, ``repro batch``,
+        pooled :meth:`submit` jobs and the experiment runners all share
+        it — until :meth:`close` drains it.
+        """
+        with self._lock:
+            if self._pool is None and self.jobs > 1 and not self._closed:
+                self._pool = WorkerPool(self.jobs)
+            return self._pool
+
+    def pool_info(self) -> dict | None:
+        """JSON-able worker-pool state for ``/health`` (None = no pool yet)."""
+        with self._lock:
+            pool = self._pool
+        return pool.info() if pool is not None else None
+
+    def _fold_outcomes(self, outcomes: list[JobOutcome]) -> None:
+        """Fold batch outcomes into the session counters (``/health``).
+
+        ``compile`` bumps these inline; batch paths historically did not,
+        so ``/health`` under-reported failures and never saw timeouts.
+        """
+        with self._lock:
+            for outcome in outcomes:
+                if outcome.cached:
+                    self.stats.cache_hits += 1
+                elif outcome.ok:
+                    self.stats.compiles += 1
+                elif outcome.status == "timeout":
+                    self.stats.timeouts += 1
+                else:
+                    self.stats.failures += 1
 
     def compile_many(
         self,
@@ -421,26 +580,68 @@ class ChassisSession:
         Same contract as the engine it drives
         (:func:`repro.service.api.run_compile_jobs`): outcomes in spec
         order, expected failures captured per job, warm cache hits flagged.
+        Every outcome — ok, failed, timeout, cached — is folded into
+        :attr:`stats`.
 
-        The engine executes cache misses inline in this thread (``jobs=1``,
-        single-job batches, or non-registry targets at any width) and
-        configures them via module-global worker state; the session's
-        oracle lock is passed down so exactly those inline sections are
-        serialized against concurrent compiles, while pool-dispatched work
-        (separate processes) runs unlocked.
+        With ``jobs >= 2``, registry-target cache misses are dispatched
+        through the session's *persistent* :class:`WorkerPool` (workers
+        warm across calls).  Remaining inline work (non-registry targets,
+        ``jobs=1``) runs in this thread configured via module-global
+        worker state; the session's oracle lock is passed down so exactly
+        those inline sections are serialized against concurrent compiles,
+        while pool-dispatched work (separate processes) runs unlocked.
         """
         with self._lock:
             self.stats.batches += 1
-        return run_compile_jobs(
+        effective_jobs = self.jobs if jobs is None else jobs
+        # The persistent pool has the session's width; honor an explicit
+        # different jobs= override with a one-off pool of the requested
+        # width (legacy scheduler path) instead of silently capping it.
+        pool = self.worker_pool() if effective_jobs == self.jobs else None
+        outcomes = run_compile_jobs(
             specs,
             config=config or self.config,
             sample_config=sample_config or self.sample_config,
-            jobs=self.jobs if jobs is None else jobs,
+            jobs=effective_jobs,
             cache=self.cache,
             timeout=self.timeout if timeout is None else timeout,
             progress=progress,
             inline_lock=self._oracle_lock,
+            pool=pool,
         )
+        self._fold_outcomes(outcomes)
+        return outcomes
+
+    def _pooled_compile(self, core: FPCore, target: Target) -> CompileResult:
+        """One registry-target job through the persistent worker pool.
+
+        The process-level twin of :meth:`compile` that :meth:`submit`
+        wraps: same cache behavior and stats accounting, but the
+        compilation itself runs in a warm worker process, so concurrent
+        handles get real parallelism instead of serializing on the
+        in-process oracle lock.  Failures are re-raised to preserve
+        :meth:`compile`'s contract.
+        """
+        [outcome] = run_compile_jobs(
+            [(core, target)],
+            config=self.config,
+            sample_config=self.sample_config,
+            jobs=self.jobs,
+            cache=self.cache,
+            timeout=self.timeout,
+            inline_lock=self._oracle_lock,
+            pool=self.worker_pool(),
+        )
+        self._fold_outcomes([outcome])
+        if outcome.status == "timeout":
+            raise JobTimeout(outcome.error)
+        if not outcome.ok:
+            rebuilt = {"Untranscribable": Untranscribable,
+                       "SamplingError": SamplingError}.get(outcome.error_type)
+            if rebuilt is not None:
+                raise rebuilt(outcome.error)
+            raise RuntimeError(f"{outcome.error_type}: {outcome.error}")
+        return outcome.result
 
     def submit(
         self, core: FPCore | str, target: Target | str, **compile_kwargs
@@ -451,9 +652,20 @@ class ChassisSession:
         :class:`CompileResult` a synchronous :meth:`compile` would; the
         persistent cache and sample cache are shared, so submitting a
         duplicate of a finished job completes instantly.
+
+        With ``jobs >= 2``, plain registry-target jobs are dispatched
+        through the session's persistent worker pool, so concurrent
+        handles compile in parallel across processes.  Customized calls
+        (``skip``/``replace``/hooks/``samples``) and non-registry targets
+        cannot cross the process boundary; they run in-process, serialized
+        by the oracle lock, and the per-job deadline bounds them there
+        too.
         """
         target_resolved = self.resolve_target(target)
         core_parsed = self.parse(core, target_resolved)
+        pooled = (
+            not compile_kwargs and self.jobs > 1 and _poolable(target_resolved)
+        )
         with self._lock:
             if self._closed:
                 raise RuntimeError("session is closed")
@@ -462,9 +674,14 @@ class ChassisSession:
                     max_workers=self.jobs, thread_name_prefix="chassis-session"
                 )
             self.stats.submitted += 1
-            future = self._executor.submit(
-                self.compile, core_parsed, target_resolved, **compile_kwargs
-            )
+            if pooled:
+                future = self._executor.submit(
+                    self._pooled_compile, core_parsed, target_resolved
+                )
+            else:
+                future = self._executor.submit(
+                    self.compile, core_parsed, target_resolved, **compile_kwargs
+                )
         return JobHandle(
             benchmark=core_parsed.name or "<anonymous>",
             target=target_resolved.name,
@@ -488,12 +705,21 @@ class ChassisSession:
         ]
 
     def close(self) -> None:
-        """Drain the submit pool; the session stays usable for sync calls."""
+        """Drain the submit pool and the worker pool; the session stays
+        usable for synchronous in-process calls."""
         with self._lock:
             executor, self._executor = self._executor, None
+            pool, self._pool = self._pool, None
             self._closed = True
         if executor is not None:
             executor.shutdown(wait=True)
+        if pool is not None:
+            # After the executor has drained (its wrappers are the only
+            # way this session dispatches to the pool outside compile_many
+            # callers, which the caller must not race with close).
+            # WorkerPool.shutdown itself waits on its in-flight-batch
+            # counter, so outcomes being collected are never lost.
+            pool.shutdown()
 
     def __enter__(self) -> "ChassisSession":
         return self

@@ -14,6 +14,7 @@ target may import the core C target").
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, replace
 from typing import Callable, Iterable
 
@@ -153,7 +154,7 @@ class Target:
                 impl = synthesize_impl(op.approx, op.params, op.ret_type)
             registry[op.name] = _OpSpec(op.arg_types, op.ret_type, impl)
         _IMPL_CACHE[id(self)] = registry
-        _CACHE_KEEPALIVE.append(self)
+        weakref.finalize(self, _IMPL_CACHE.pop, id(self), None)
         return registry
 
     # --- derivation ----------------------------------------------------------------------
@@ -179,6 +180,9 @@ class Target:
 
 
 # Implementation registries are pure functions of the (frozen) target, so a
-# per-instance cache is safe; the keepalive list pins ids.
+# per-instance cache keyed by id() is safe as long as an entry never
+# outlives its target: a weakref.finalize evicts it at collection, which
+# both prevents recycled ids from serving stale registries and stops the
+# cache retaining every Target ever evaluated (it used to pin them all via
+# a keepalive list).
 _IMPL_CACHE: dict[int, dict[str, _OpSpec]] = {}
-_CACHE_KEEPALIVE: list[Target] = []
