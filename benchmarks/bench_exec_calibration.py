@@ -1,0 +1,83 @@
+"""Empirical calibration: predicted vs measured run time of emitted code.
+
+Compiles a slice of the suite for the C 99 and Python targets, *executes*
+every frontier program through the empirical backend (system-compiler
+shared libraries when a C compiler exists, the sandboxed Python backend
+otherwise), wall-clock times each one, and regresses the measurements
+against the performance simulator's predictions
+(:func:`repro.exec.calibrate.collect_calibration`).
+
+Outputs:
+
+* ``results/exec_calibration.json`` — the machine-readable calibration
+  report per target: affine fit (scale/offset), log-log correlation,
+  per-operator residuals, and every (predicted, measured) point;
+* ``results/exec_calibration.txt`` — the human-readable summary.
+
+Expected shape: correlation is strongly positive (the simulator ranks
+programs correctly even where its absolute scale is off), and the fitted
+offset is dominated by the call-boundary overhead of reaching emitted
+code (a ctypes or Python call per point).
+"""
+
+import json
+
+from conftest import RESULTS_DIR, write_result
+
+from repro.exec import c_backend_available, collect_calibration
+from repro.targets import get_target
+
+
+def test_exec_calibration(benchmark, bench_cores, experiment_config):
+    session = experiment_config.get_session()
+    targets = ["c99", "python"]
+
+    def run():
+        return {
+            name: collect_calibration(
+                session, bench_cores, get_target(name),
+                repeats=3, programs_per_core=2,
+            )
+            for name in targets
+        }
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    payload = {name: report.as_dict() for name, report in reports.items()}
+    json_path = RESULTS_DIR / "exec_calibration.json"
+    RESULTS_DIR.mkdir(exist_ok=True)
+    json_path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    lines = [
+        "Empirical calibration — predicted (simulator) vs measured "
+        "(executed emitted code)",
+        f"C backend available: {c_backend_available()}",
+        "",
+        f"{'target':<10}{'backend':<10}{'programs':>9}{'scale':>10}"
+        f"{'offset ns':>11}{'log-corr':>10}",
+        "-" * 60,
+    ]
+    for name, report in reports.items():
+        lines.append(
+            f"{name:<10}{report.backend:<10}{report.n_programs:>9}"
+            f"{report.scale:>10.3f}{report.offset:>11.1f}"
+            f"{report.correlation:>10.3f}"
+        )
+    for name, report in reports.items():
+        worst = sorted(
+            report.operator_residuals.items(), key=lambda kv: -abs(kv[1])
+        )[:5]
+        if worst:
+            lines.append("")
+            lines.append(f"{name}: largest per-operator residuals (relative)")
+            for op, residual in worst:
+                lines.append(f"  {op:<16}{residual:>+8.2f}")
+    lines.append("")
+    lines.append(f"JSON report: {json_path}")
+    write_result("exec_calibration", "\n".join(lines) + "\n")
+
+    for name, report in reports.items():
+        assert report.n_programs > 0, f"no programs measured for {name}"
+        assert all(p.measured_ns > 0 for p in report.points)
+    # The JSON artifact round-trips.
+    assert json.loads(json_path.read_text())["c99"]["n_programs"] > 0

@@ -5,12 +5,23 @@ Regenerates the joint Pareto comparison against 12 Clang configurations
 shape (paper 6.2): Chassis' curve dominates; fast-math beats precise Clang
 on speed with an accuracy drop; Chassis' advantage at matched accuracy is
 severalfold (the paper reports 8.9x at equal accuracy, >= 3.5x overall).
+
+``REPRO_BENCH_EMPIRICAL=1`` switches the figure to **empirical** mode: run
+times come from executing emitted code (system-compiler-built shared
+libraries, wall-clock timed over the test points) instead of from the
+performance simulator — the real-hardware variant of the figure.  Shape
+assertions only apply to the deterministic simulated mode; empirical
+numbers carry real measurement noise.
 """
+
+import os
 
 from conftest import write_result
 
 from repro.experiments import clang_report, joint_pareto, run_clang_comparison
 from repro.targets import get_target
+
+EMPIRICAL = os.environ.get("REPRO_BENCH_EMPIRICAL", "") not in ("", "0")
 
 
 def test_fig7_chassis_vs_clang(benchmark, bench_cores, experiment_config):
@@ -18,13 +29,23 @@ def test_fig7_chassis_vs_clang(benchmark, bench_cores, experiment_config):
     results = benchmark.pedantic(
         run_clang_comparison,
         args=(bench_cores, c99, experiment_config),
+        kwargs={"empirical": EMPIRICAL},
         rounds=1,
         iterations=1,
     )
     report = clang_report(results)
+    if EMPIRICAL:
+        measured = sum(r.empirical for r in results)
+        report = (
+            f"(empirical: wall-clock timings of executed code for "
+            f"{measured}/{len(results)} benchmarks; the rest fell back to "
+            f"the simulator)\n" + report
+        )
     write_result("fig7_clang", report)
 
     assert results, "no benchmark compiled"
+    if EMPIRICAL:
+        return  # wall-clock noise: the deterministic shape check is moot
     # Shape check: Chassis' best speedup exceeds every precise Clang config.
     chassis_best = max(
         point.speedup for point in joint_pareto([r.chassis for r in results])

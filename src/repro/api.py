@@ -18,6 +18,11 @@ Three layers, smallest first:
 * **Service** — the batch engine types (:class:`JobOutcome`,
   :class:`CompileCache`, ``JobSpec``) and the ``repro serve`` front-end
   (:func:`serve`, :func:`create_server`).
+* **Execution** — the empirical backend (:mod:`repro.exec`): build and run
+  emitted code (:func:`executable_for`), cross-check it against the oracle
+  (:func:`validate_program`), measure it (:func:`measure_executable`) and
+  calibrate the cost model against the measurements
+  (:func:`collect_calibration`).
 
 The historical one-shot entry points ``repro.compile_fpcore`` and
 ``repro.service.compile_many`` remain importable as deprecated shims.
@@ -37,6 +42,23 @@ from .core.pipeline import (
     default_phases,
 )
 from .core.transcribe import Untranscribable
+from .exec import (
+    BuildCache,
+    BuildError,
+    CalibrationReport,
+    ExecutableProgram,
+    ExecutionRun,
+    TimingReport,
+    ValidationReport,
+    backend_availability,
+    c_backend_available,
+    calibrate,
+    collect_calibration,
+    executable_for,
+    find_compiler,
+    measure_executable,
+    validate_program,
+)
 from .ir.fpcore import FPCore, parse_fpcore, parse_fpcores
 from .service.api import JobSpec, run_compile_jobs
 from .service.cache import CompileCache, job_fingerprint
@@ -81,6 +103,22 @@ __all__ = [
     # server front-end
     "serve",
     "create_server",
+    # empirical execution
+    "BuildCache",
+    "BuildError",
+    "CalibrationReport",
+    "ExecutableProgram",
+    "ExecutionRun",
+    "TimingReport",
+    "ValidationReport",
+    "backend_availability",
+    "c_backend_available",
+    "calibrate",
+    "collect_calibration",
+    "executable_for",
+    "find_compiler",
+    "measure_executable",
+    "validate_program",
     # IR / targets
     "FPCore",
     "parse_fpcore",

@@ -8,9 +8,14 @@ Commands:
   service: parallel workers, persistent result cache, JSONL report.
 * ``serve``  — long-running JSON-over-HTTP front-end backed by one warm
   :class:`~repro.session.ChassisSession` (compile/batch/targets/score).
-* ``targets`` — list the built-in target descriptions (the figure 6 table).
+* ``targets`` — list the built-in target descriptions (the figure 6 table);
+  ``--json`` adds per-target execution capability metadata.
 * ``sample`` — sample valid inputs for an FPCore and report acceptance.
 * ``score``  — score a float program's accuracy against the oracle.
+* ``run``    — compile, then *execute* the emitted code (C via the system
+  compiler, or the sandboxed Python backend) at the sampled points.
+* ``validate`` — run emitted code and cross-check it against the Rival
+  oracle and the fpeval machine (empirical accuracy report).
 
 Every command that compiles goes through a :class:`ChassisSession`, so one
 invocation shares its evaluator, sample cache and (optional) persistent
@@ -66,7 +71,12 @@ def _read_cores(source: str, known_ops=None):
     return parse_fpcores(text, known_ops)
 
 
-def _cmd_targets(_args) -> int:
+def _cmd_targets(args) -> int:
+    if getattr(args, "json", False):
+        from .session import targets_info
+
+        print(json.dumps({"targets": targets_info()}, indent=2))
+        return 0
     print(targets_table(all_targets()), end="")
     return 0
 
@@ -187,6 +197,91 @@ def _cmd_score(args) -> int:
     return 0
 
 
+def _exec_session(args) -> ChassisSession:
+    """The session behind ``repro run`` / ``repro validate``."""
+    return ChassisSession(
+        config=CompileConfig(iterations=args.iterations),
+        sample_config=SampleConfig(
+            n_train=args.points, n_test=args.points, seed=args.seed
+        ),
+        cache=getattr(args, "cache_dir", None) or None,
+    )
+
+
+def _cmd_run(args) -> int:
+    """Compile and *execute* emitted code at the sampled points."""
+    session = _exec_session(args)
+    status = 0
+    for core in _read_cores(args.input):
+        label = core.name or core.properties.get("name", "<anonymous>")
+        try:
+            run = session.execute(
+                core, args.target, program=args.program or None,
+                backend=args.backend,
+            )
+            samples = session.samples_for(core)
+        except Exception as error:
+            print(f"{label}: FAILED ({type(error).__name__}: {error})")
+            status = 1
+            continue
+        if args.json:
+            print(json.dumps(run.as_dict()))
+            continue
+        note = f" ({run.note})" if run.note else ""
+        print(
+            f"{label} on {args.target}: executed {run.fn_name} "
+            f"[{run.backend} backend] over {len(run.outputs)} points{note}"
+        )
+        exacts = samples.test_exact or samples.train_exact
+        points = samples.test or samples.train
+        for point, output, exact in list(zip(points, run.outputs, exacts))[: args.show]:
+            rendered = ", ".join(f"{k}={v:.6g}" for k, v in point.items())
+            print(f"  {rendered}  ->  {output:.17g}  (exact {exact:.17g})")
+    return status
+
+
+def _cmd_validate(args) -> int:
+    """Execute emitted code and cross-check it against oracle + machine."""
+    session = _exec_session(args)
+    status = 0
+    for core in _read_cores(args.input):
+        label = core.name or core.properties.get("name", "<anonymous>")
+        try:
+            report = session.validate(
+                core, args.target, program=args.program or None,
+                backend=args.backend,
+            )
+        except Exception as error:
+            print(f"{label}: FAILED ({type(error).__name__}: {error})")
+            status = 1
+            continue
+        if args.json:
+            print(json.dumps(report.as_dict()))
+            continue
+        verdict = "agree" if report.ok else "DISAGREE"
+        print(
+            f"{label} on {report.target} [{report.backend} backend]: "
+            f"executed {report.executed_bits:.3f} vs machine "
+            f"{report.machine_bits:.3f} bits of error over "
+            f"{report.n_points} points -> {verdict} "
+            f"(delta {report.agreement_bits:.3f} bits, "
+            f"max {report.max_ulps} ulps, "
+            f"{report.mismatch_count} mismatching points)"
+        )
+        if report.note:
+            print(f"  note: {report.note}")
+        for mismatch in report.mismatches:
+            rendered = ", ".join(
+                f"{k}={v:.6g}" for k, v in mismatch.point.items()
+            )
+            print(
+                f"  point {mismatch.index} ({rendered}): "
+                f"executed {mismatch.executed:.17g} vs machine "
+                f"{mismatch.machine:.17g} ({mismatch.ulps} ulps)"
+            )
+    return status
+
+
 def _cmd_serve(args) -> int:
     from .service.server import serve
 
@@ -214,6 +309,12 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_targets = sub.add_parser("targets", help="list built-in targets")
+    p_targets.add_argument(
+        "--json",
+        action="store_true",
+        help="emit JSON with per-target execution capability metadata "
+        "(emittable languages, available empirical backends)",
+    )
     p_targets.set_defaults(fn=_cmd_targets)
 
     p_compile = sub.add_parser("compile", help="compile FPCore for a target")
@@ -318,6 +419,53 @@ def build_parser() -> argparse.ArgumentParser:
     p_sample.add_argument("--seed", type=int, default=20250401)
     p_sample.add_argument("--show", type=int, default=0, help="print the first N points")
     p_sample.set_defaults(fn=_cmd_sample)
+
+    def add_exec_arguments(p):
+        p.add_argument("input", help="FPCore file, '-' for stdin, or a benchmark name")
+        p.add_argument("--target", choices=TARGET_NAMES, default="c99")
+        p.add_argument(
+            "--backend",
+            choices=("auto", "c", "python"),
+            default="auto",
+            help="execution backend: auto picks the C build when the target "
+            "emits C and a compiler exists, else the sandboxed Python "
+            "backend (the graceful-degradation path)",
+        )
+        p.add_argument(
+            "--program",
+            help="float program to execute (defaults to the most accurate "
+            "compiled frontier output)",
+        )
+        p.add_argument("--iterations", type=int, default=2)
+        p.add_argument("--points", type=int, default=48)
+        p.add_argument("--seed", type=int, default=20250401)
+        p.add_argument(
+            "--cache-dir",
+            default=None,
+            help="persistent compile cache; built shared libraries land in "
+            "<cache-dir>/builds",
+        )
+        p.add_argument(
+            "--json",
+            action="store_true",
+            help="emit one machine-readable JSON object per benchmark",
+        )
+
+    p_run = sub.add_parser(
+        "run", help="execute emitted code at the sampled points"
+    )
+    add_exec_arguments(p_run)
+    p_run.add_argument(
+        "--show", type=int, default=5, help="print the first N outputs"
+    )
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_validate = sub.add_parser(
+        "validate",
+        help="run emitted code and cross-check it against oracle + machine",
+    )
+    add_exec_arguments(p_validate)
+    p_validate.set_defaults(fn=_cmd_validate)
 
     p_score = sub.add_parser("score", help="score a program against the oracle")
     p_score.add_argument("input")

@@ -8,6 +8,9 @@ memory and calling-convention concerns to that compiler (paper section 4.2).
 
 from __future__ import annotations
 
+import keyword
+import re
+
 from ..ir.expr import App, Const, Expr, Num, Var
 from ..ir.fpcore import FPCore
 from ..ir.printer import expr_to_sexpr, format_fraction
@@ -16,6 +19,73 @@ from ..targets.target import Target
 
 _C_INFIX = {"add": "+", "sub": "-", "mul": "*", "div": "/"}
 _CMP = {"<", "<=", ">", ">=", "==", "!="}
+
+_IDENTIFIER_JUNK = re.compile(r"[^A-Za-z0-9_]")
+
+#: Names that are syntactically valid identifiers but cannot be used as
+#: ones in emitted code: Python keywords (``lambda`` as a parameter is a
+#: SyntaxError), C keywords (``double``, ``return``), and the ``math``
+#: namespace binding emitted Python relies on (a parameter named ``math``
+#: would shadow it and break every ``math.<op>`` reference).
+_RESERVED_IDENTIFIERS = frozenset(keyword.kwlist) | frozenset((
+    "math",
+    "auto", "break", "case", "char", "const", "continue", "default", "do",
+    "double", "else", "enum", "extern", "float", "for", "goto", "if",
+    "inline", "int", "long", "register", "restrict", "return", "short",
+    "signed", "sizeof", "static", "struct", "switch", "typedef", "union",
+    "unsigned", "void", "volatile", "while",
+))
+
+
+def sanitize_identifier(name: str, fallback: str = "program") -> str:
+    """Turn an FPCore name into a valid C/Python/Julia identifier.
+
+    FPCore names may contain spaces, dots, parens, quotes — anything (they
+    are transport-safe via the ``:name`` string property) — but emitted
+    function names must match ``[A-Za-z_][A-Za-z0-9_]*``.  Every other
+    character becomes ``_``, a leading digit is prefixed, and language
+    keywords (plus the ``math`` binding) get a trailing ``_``, so e.g.
+    ``2nd try (fast)`` renders as ``_2nd_try__fast_`` and ``lambda`` as
+    ``lambda_``.  Distinct names can sanitize to the same identifier;
+    callers that need uniqueness pass an explicit ``fn_name`` (argument
+    lists are uniquified by :func:`_argument_renames`).
+    """
+    cleaned = _IDENTIFIER_JUNK.sub("_", name)
+    if not cleaned:
+        return fallback
+    if cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    if cleaned in _RESERVED_IDENTIFIERS:
+        cleaned += "_"
+    return cleaned
+
+
+def _argument_renames(core: FPCore) -> dict[str, str]:
+    """Unique valid identifiers for a core's argument names.
+
+    FPCore argument names are as unconstrained as core names (``x-y`` is
+    a fine parameter); emitted functions need real identifiers, uniquified
+    because two distinct names may sanitize to the same one.
+    """
+    renames: dict[str, str] = {}
+    used: set[str] = set()
+    for name in core.arguments:
+        cleaned = sanitize_identifier(name, "arg")
+        candidate, counter = cleaned, 1
+        while candidate in used:
+            counter += 1
+            candidate = f"{cleaned}_{counter}"
+        used.add(candidate)
+        renames[name] = candidate
+    return renames
+
+
+def _renamed_program(program: Expr, renames: dict[str, str]) -> Expr:
+    """The program with every argument reference renamed (no-op when all
+    names were already valid identifiers)."""
+    if all(old == new for old, new in renames.items()):
+        return program
+    return program.substitute({old: Var(new) for old, new in renames.items()})
 
 
 def _base_and_suffix(op_name: str) -> tuple[str, str]:
@@ -26,9 +96,10 @@ def _base_and_suffix(op_name: str) -> tuple[str, str]:
 def to_c(program: Expr, core: FPCore, target: Target, fn_name: str = "") -> str:
     """Render a float program as a C function."""
     ty = "float" if core.precision == F32 else "double"
-    fn_name = fn_name or (core.name.replace("-", "_") or "program")
-    args = ", ".join(f"{ty} {a}" for a in core.arguments)
-    body = _c_expr(program, core.precision)
+    fn_name = fn_name or sanitize_identifier(core.name)
+    renames = _argument_renames(core)
+    args = ", ".join(f"{ty} {renames[a]}" for a in core.arguments)
+    body = _c_expr(_renamed_program(program, renames), core.precision)
     return (
         f"#include <math.h>\n\n"
         f"{ty} {fn_name}({args}) {{\n    return {body};\n}}\n"
@@ -66,15 +137,23 @@ def _c_expr(expr: Expr, prec: str) -> str:
         return f"(-{args[0]})"
     if base == "cast":
         return f"(({'float' if suffix == 'f32' else 'double'}){args[0]})"
-    fn = base + ("f" if suffix == "f32" else "")
-    return f"{fn}({', '.join(args)})"
+    f = "f" if suffix == "f32" else ""
+    # The fused-multiply variants have no libm entry points of their own,
+    # but all are exactly C's (correctly rounded) fma with sign flips:
+    # fms(a,b,c) = a*b - c = fma(a,b,-c), fnma = fma(-a,b,c), and so on.
+    if base in ("fms", "fnma", "fnms"):
+        a = f"(-{args[0]})" if base in ("fnma", "fnms") else args[0]
+        c = f"(-{args[2]})" if base in ("fms", "fnms") else args[2]
+        return f"fma{f}({a}, {args[1]}, {c})"
+    return f"{base}{f}({', '.join(args)})"
 
 
 def to_python(program: Expr, core: FPCore, target: Target, fn_name: str = "") -> str:
     """Render a float program as a Python function over ``math``."""
-    fn_name = fn_name or (core.name.replace("-", "_") or "program")
-    args = ", ".join(core.arguments)
-    body = _py_expr(program)
+    fn_name = fn_name or sanitize_identifier(core.name)
+    renames = _argument_renames(core)
+    args = ", ".join(renames[a] for a in core.arguments)
+    body = _py_expr(_renamed_program(program, renames))
     return f"import math\n\ndef {fn_name}({args}):\n    return {body}\n"
 
 
@@ -103,21 +182,29 @@ def _py_expr(expr: Expr) -> str:
     if expr.op in ("and", "or", "not"):
         parts = [_py_expr(a) for a in expr.args]
         return f"(not {parts[0]})" if expr.op == "not" else f"({parts[0]} {expr.op} {parts[1]})"
-    base, _suffix = _base_and_suffix(expr.op)
+    base, suffix = _base_and_suffix(expr.op)
     args = [_py_expr(a) for a in expr.args]
     if base in _C_INFIX:
         return f"({args[0]} {_C_INFIX[base]} {args[1]})"
     if base == "neg":
         return f"(-{args[0]})"
+    if base == "cast":
+        # The suffix is semantic here — cast.f32 rounds, cast.f64 is the
+        # identity — so it must survive into the emitted name (the
+        # execution backend links math.cast_f32 to the target's impl;
+        # dropping it would bind both casts to one implementation).
+        return f"math.cast_{suffix or 'f64'}({args[0]})"
     fn = _PY_FN.get(base, f"math.{base}")
     return f"{fn}({', '.join(args)})"
 
 
 def to_julia(program: Expr, core: FPCore, target: Target, fn_name: str = "") -> str:
     """Render a float program as a Julia function (helpers used directly)."""
-    fn_name = fn_name or (core.name.replace("-", "_") or "program")
-    args = ", ".join(core.arguments)
-    return f"function {fn_name}({args})\n    return {_jl_expr(program)}\nend\n"
+    fn_name = fn_name or sanitize_identifier(core.name)
+    renames = _argument_renames(core)
+    args = ", ".join(renames[a] for a in core.arguments)
+    body = _jl_expr(_renamed_program(program, renames))
+    return f"function {fn_name}({args})\n    return {body}\nend\n"
 
 
 def _jl_expr(expr: Expr) -> str:

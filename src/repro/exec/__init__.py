@@ -1,0 +1,86 @@
+"""Empirical execution backend: compile, run, and validate emitted code.
+
+Everything else in the reproduction stops at text and models — code
+generation renders C/Python/Julia, the performance simulator *predicts*
+run time.  This package executes: emitted C is compiled by the system
+compiler into shared libraries and loaded with ctypes
+(:mod:`~repro.exec.builder`), emitted Python runs in a sandboxed namespace
+(:mod:`~repro.exec.python_backend`), executed outputs are cross-checked
+against the Rival oracle and the fpeval machine
+(:mod:`~repro.exec.validate`), wall-clock cost is measured
+(:mod:`~repro.exec.timing`), and measurements calibrate the simulator's
+predictions (:mod:`~repro.exec.calibrate`).
+
+Entry points: :meth:`repro.session.ChassisSession.execute` /
+:meth:`~repro.session.ChassisSession.validate`, the ``repro run`` and
+``repro validate`` CLI commands, and the serve ``/validate`` endpoint.
+Everything degrades gracefully to the Python backend when no C compiler
+exists (``REPRO_CC=none`` forces that leg).
+"""
+
+from .builder import (
+    BuildCache,
+    BuildError,
+    build_shared,
+    find_compiler,
+    load_function,
+    shared_build_cache,
+)
+from .calibrate import (
+    CalibrationPoint,
+    CalibrationReport,
+    affine_fit,
+    calibrate,
+    collect_calibration,
+)
+from .executable import (
+    BACKENDS,
+    ExecutableProgram,
+    ExecutionRun,
+    backend_availability,
+    c_backend_available,
+    executable_for,
+)
+from .python_backend import MathLink, PythonExecError, compile_python_function
+from .timing import TimingReport, measure_executable
+from .validate import (
+    PointMismatch,
+    ValidationReport,
+    validate_executable,
+    validate_program,
+)
+
+__all__ = [
+    # builder
+    "BuildCache",
+    "BuildError",
+    "build_shared",
+    "find_compiler",
+    "load_function",
+    "shared_build_cache",
+    # python backend
+    "MathLink",
+    "PythonExecError",
+    "compile_python_function",
+    # executable
+    "BACKENDS",
+    "ExecutableProgram",
+    "ExecutionRun",
+    "backend_availability",
+    "c_backend_available",
+    "executable_for",
+    # validation
+    "PointMismatch",
+    "ValidationReport",
+    "validate_executable",
+    "validate_program",
+    # timing
+    "TimingReport",
+    "measure_executable",
+    # calibration
+    "CalibrationPoint",
+    "CalibrationReport",
+    "affine_fit",
+    "calibrate",
+    "collect_calibration",
+]

@@ -1,0 +1,290 @@
+"""Compile emitted C into shared libraries and load them through ctypes.
+
+The paper's evaluation runs real Clang-compiled binaries over the sampled
+points; this module is the reproduction's equivalent: emitted C source
+(:func:`repro.core.output.to_c`) is compiled by the *system* compiler into a
+shared library and loaded with :mod:`ctypes`, so validation and timing run
+machine code, not a simulation.
+
+Three pieces:
+
+* **discovery** — :func:`find_compiler` probes ``$REPRO_CC``, then ``cc``,
+  ``clang``, ``gcc`` once per environment setting.  Setting ``REPRO_CC=none``
+  disables the C backend entirely (how CI exercises the no-compiler leg).
+* **build cache** — :class:`BuildCache` is a content-addressed store of
+  built ``.so`` files keyed by a SHA-256 of (compiler identity, flags,
+  source), the same sharded-directory layout as the persistent
+  :class:`~repro.service.cache.CompileCache` it lives next to.  Rebuilding
+  an already-built program is a stat, not a compile.
+* **loading** — :func:`load_function` resolves the emitted function from
+  the shared library and types it for the benchmark's float format.
+
+Builds are strict about IEEE semantics: ``-ffp-contract=off`` (GCC
+contracts ``a*b+c`` into fma by default at ``-O2``, which would change
+results the validator then mis-attributes) and ``-Wl,--no-undefined`` so a
+target whose operators do not exist in libm (``fast_exp`` from the VDT
+target, say) fails at *build* time with a :class:`BuildError` the caller
+can catch and downgrade to the Python backend, instead of at call time.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import threading
+from pathlib import Path
+
+from ..deadline import check_deadline, remaining
+from ..ir.types import F32
+
+#: Compiler candidates probed in order when ``$REPRO_CC`` is unset.
+COMPILER_CANDIDATES = ("cc", "clang", "gcc")
+
+#: ``$REPRO_CC`` values that mean "no C backend, even if one is installed".
+_DISABLED_VALUES = ("none", "off", "0", "disabled")
+
+#: "Fail on unresolved symbols at link time" is spelled differently per
+#: linker: --no-undefined is GNU ld, Apple's ld64 wants -undefined error.
+_STRICT_LINK = (
+    "-Wl,-undefined,error" if sys.platform == "darwin" else "-Wl,--no-undefined"
+)
+
+#: Flags for every build: optimized, position-independent, shared, strict
+#: IEEE contraction semantics, and no unresolved symbols at link time.
+CFLAGS = ("-O2", "-fPIC", "-shared", "-ffp-contract=off", _STRICT_LINK)
+
+#: Hard cap (seconds) on one compiler invocation; tightened further by an
+#: armed cooperative deadline's remaining budget.
+BUILD_TIMEOUT = 60.0
+
+
+class BuildError(RuntimeError):
+    """A C build or symbol load failed (missing compiler, bad source,
+    operator with no libm symbol).  Callers running with ``backend="auto"``
+    catch this and fall back to the Python backend."""
+
+
+# One probe per distinct $REPRO_CC setting (tests flip it; production
+# resolves it exactly once).
+_COMPILER_CACHE: dict[str | None, str | None] = {}
+
+
+def find_compiler() -> str | None:
+    """Absolute path of the system C compiler, or None when unavailable.
+
+    Resolution: ``$REPRO_CC`` names a compiler (or disables the backend
+    with ``none``/``off``/``0``/``disabled``); otherwise the first of
+    ``cc``/``clang``/``gcc`` on PATH wins.  The probe runs once per
+    environment value and is cached for the life of the process.
+    """
+    env = os.environ.get("REPRO_CC") or None
+    if env in _COMPILER_CACHE:
+        return _COMPILER_CACHE[env]
+    if env is not None and env.lower() in _DISABLED_VALUES:
+        resolved = None
+    elif env is not None:
+        resolved = shutil.which(env) or (env if os.path.exists(env) else None)
+    else:
+        resolved = next(
+            (path for name in COMPILER_CANDIDATES if (path := shutil.which(name))),
+            None,
+        )
+    _COMPILER_CACHE[env] = resolved
+    return resolved
+
+
+_VERSION_CACHE: dict[str, str] = {}
+
+
+def compiler_identity(compiler: str) -> str:
+    """A stable identity string for one compiler (path plus ``--version``
+    first line), part of every build fingerprint so upgrading the system
+    compiler invalidates cached binaries."""
+    cached = _VERSION_CACHE.get(compiler)
+    if cached is not None:
+        return cached
+    try:
+        out = subprocess.run(
+            [compiler, "--version"], capture_output=True, text=True, timeout=10
+        ).stdout.splitlines()
+        version = out[0].strip() if out else ""
+    except (OSError, subprocess.SubprocessError):
+        version = ""
+    identity = f"{compiler}:{version}"
+    _VERSION_CACHE[compiler] = identity
+    return identity
+
+
+def build_fingerprint(source: str, compiler: str) -> str:
+    """Content address of one build: compiler identity + flags + source."""
+    h = hashlib.sha256()
+    for part in (compiler_identity(compiler), " ".join(CFLAGS), source):
+        h.update(part.encode("utf-8"))
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+class BuildCache:
+    """Content-addressed store of built shared libraries.
+
+    Same layout as the persistent compile cache (entries sharded two hex
+    chars deep) and meant to live next to it — a
+    :class:`~repro.session.ChassisSession` with ``cache=".repro-cache"``
+    puts builds under ``.repro-cache/builds``.  Sessions without a
+    persistent cache use :meth:`ephemeral`, whose backing directory is
+    removed when the cache is garbage-collected or explicitly cleaned.
+    """
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.builds = 0
+        self._tmpdir: tempfile.TemporaryDirectory | None = None
+
+    @classmethod
+    def ephemeral(cls) -> "BuildCache":
+        """A cache on a private temporary directory (no persistent cache
+        configured); cleaned up at :meth:`cleanup` or interpreter exit."""
+        tmpdir = tempfile.TemporaryDirectory(prefix="repro-builds-")
+        cache = cls(tmpdir.name)
+        cache._tmpdir = tmpdir
+        return cache
+
+    def cleanup(self) -> None:
+        """Remove an ephemeral cache's backing directory (no-op for a
+        persistent one: built libraries are the point of keeping it)."""
+        if self._tmpdir is not None:
+            self._tmpdir.cleanup()
+            self._tmpdir = None
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.so"
+
+    def get(self, key: str) -> Path | None:
+        path = self.path_for(key)
+        if path.exists():
+            self.hits += 1
+            return path
+        return None
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.so"))
+
+
+# Process-wide fallback cache for callers that pass none: bounds disk use
+# (content-addressing dedups repeat builds) and its backing tempdir is
+# removed at interpreter exit, where per-call mkdtemp would leak forever.
+_SHARED_CACHE_LOCK = threading.Lock()
+_SHARED_CACHE: BuildCache | None = None
+
+
+def shared_build_cache() -> BuildCache:
+    """The process-wide ephemeral build cache (created on first use)."""
+    global _SHARED_CACHE
+    with _SHARED_CACHE_LOCK:
+        if _SHARED_CACHE is None:
+            _SHARED_CACHE = BuildCache.ephemeral()
+        return _SHARED_CACHE
+
+
+def build_shared(
+    source: str,
+    compiler: str | None = None,
+    cache: BuildCache | None = None,
+) -> Path:
+    """Compile C source into a shared library; returns the ``.so`` path.
+
+    Builds are content-addressed in ``cache`` (default: the process-wide
+    ephemeral cache): an already built identical (compiler, flags, source)
+    triple is returned without invoking the compiler.  Fresh builds are
+    atomic — each invocation compiles to its own unique temp files, then
+    ``os.replace``s into the final path — so concurrent threads or
+    processes building the same source race benignly (last writer wins
+    with identical content) and never observe a torn library.
+    """
+    compiler = compiler or find_compiler()
+    if compiler is None:
+        raise BuildError(
+            "no C compiler found (searched $REPRO_CC, cc, clang, gcc)"
+        )
+    if cache is None:  # not `or`: an *empty* BuildCache is falsy via __len__
+        cache = shared_build_cache()
+    key = build_fingerprint(source, compiler)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    # Respect an armed cooperative deadline: fail fast when the budget is
+    # already gone, and cap the compiler subprocess by what remains (the
+    # subprocess cannot poll check_deadline itself).
+    check_deadline()
+    budget = remaining()
+    build_timeout = (
+        BUILD_TIMEOUT if budget is None else max(0.1, min(BUILD_TIMEOUT, budget))
+    )
+    final = cache.path_for(key)
+    final.parent.mkdir(parents=True, exist_ok=True)
+
+    src_fd, src_name = tempfile.mkstemp(dir=final.parent, suffix=".c")
+    tmp_so = src_name + ".so"
+    try:
+        with os.fdopen(src_fd, "w") as handle:
+            handle.write(source)
+        try:
+            proc = subprocess.run(
+                [compiler, *CFLAGS, "-o", tmp_so, src_name, "-lm"],
+                capture_output=True,
+                text=True,
+                timeout=build_timeout,
+            )
+        except (subprocess.SubprocessError, OSError) as error:
+            # A hung or vanished compiler is still a build failure the
+            # auto backend must be able to degrade from, not a crash.
+            raise BuildError(f"{compiler} did not complete: {error}") from None
+        if proc.returncode != 0:
+            raise BuildError(
+                f"{compiler} failed ({proc.returncode}): "
+                f"{proc.stderr.strip().splitlines()[-1] if proc.stderr.strip() else 'no diagnostics'}"
+            )
+        os.replace(tmp_so, final)
+    finally:
+        for leftover in (src_name, tmp_so):
+            try:
+                os.unlink(leftover)
+            except OSError:
+                pass
+    cache.builds += 1
+    return final
+
+
+def load_function(
+    lib_path: str | os.PathLike,
+    fn_name: str,
+    arg_types: tuple[str, ...],
+    ret_type: str,
+):
+    """Load one emitted function from a built shared library.
+
+    ``arg_types``/``ret_type`` are float format names (``binary32`` /
+    ``binary64``); the ctypes signature is derived from them so binary32
+    programs round-trip through real C ``float``.
+    """
+    try:
+        lib = ctypes.CDLL(os.fspath(lib_path))
+    except OSError as error:
+        raise BuildError(f"cannot load {lib_path}: {error}") from None
+    try:
+        fn = getattr(lib, fn_name)
+    except AttributeError:
+        raise BuildError(
+            f"built library exports no symbol {fn_name!r}"
+        ) from None
+    ctype = {F32: ctypes.c_float}
+    fn.argtypes = [ctype.get(ty, ctypes.c_double) for ty in arg_types]
+    fn.restype = ctype.get(ret_type, ctypes.c_double)
+    return fn

@@ -1,0 +1,235 @@
+"""Calibrate the performance simulator against real measured timings.
+
+Simulated cost models drift from hardware unless anchored to real
+executions (the gap the paper's section 7 attributes to denormals, ILP and
+interpreter overhead — and the gap ASIP/real-time simulation work closes
+by calibrating against measurements).  This module closes the loop for the
+reproduction: it pairs :class:`~repro.perf.simulator.PerfSimulator`
+predictions with wall-clock measurements of the same programs
+(:mod:`repro.exec.timing`) and fits an affine correction
+
+    ``measured ≈ scale * predicted + offset``
+
+by least squares.  The offset absorbs the near-constant call-boundary cost
+of reaching emitted code (ctypes / Python call overhead); the scale is the
+systematic prediction bias.  The report carries the log-log Pearson
+correlation (the figure-10 metric), per-operator mean relative residuals —
+which operators the model consistently mis-prices after correction — and
+the raw (predicted, measured) points, all JSON-serializable for the
+benchmark harness.
+
+:meth:`CalibrationReport.rescale` applies the fitted correction, turning a
+cost-model prediction into a calibrated wall-clock estimate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .executable import json_float
+
+
+@dataclass
+class CalibrationPoint:
+    """One program's predicted and measured per-evaluation cost (ns)."""
+
+    benchmark: str
+    program: str
+    predicted_ns: float
+    measured_ns: float
+    operators: tuple[str, ...] = ()
+
+    def as_dict(self) -> dict:
+        return {
+            "benchmark": self.benchmark,
+            "program": self.program,
+            "predicted_ns": self.predicted_ns,
+            "measured_ns": self.measured_ns,
+            "operators": list(self.operators),
+        }
+
+
+@dataclass
+class CalibrationReport:
+    """The fitted correction and its diagnostics for one target/backend."""
+
+    target: str
+    backend: str
+    n_programs: int
+    #: Affine fit: measured ≈ scale * predicted + offset.
+    scale: float
+    offset: float
+    #: Pearson correlation of log(predicted) vs log(measured).
+    correlation: float
+    #: Mean relative residual (measured - rescaled) / measured per
+    #: operator, over the programs containing that operator.  Positive:
+    #: the model *under*-prices programs using the operator.
+    operator_residuals: dict[str, float] = field(default_factory=dict)
+    points: list[CalibrationPoint] = field(default_factory=list)
+
+    def rescale(self, predicted_ns: float) -> float:
+        """A calibrated wall-clock estimate from a cost-model prediction."""
+        return self.scale * predicted_ns + self.offset
+
+    def as_dict(self) -> dict:
+        return {
+            "target": self.target,
+            "backend": self.backend,
+            "n_programs": self.n_programs,
+            "scale": self.scale,
+            "offset": self.offset,
+            # NaN with < 3 points or degenerate variance; keep the JSON
+            # artifact strict-RFC8259 (bare NaN tokens break jq et al.).
+            "correlation": json_float(self.correlation),
+            "operator_residuals": self.operator_residuals,
+            "points": [p.as_dict() for p in self.points],
+        }
+
+
+def affine_fit(xs: Sequence[float], ys: Sequence[float]) -> tuple[float, float]:
+    """Least-squares ``y ≈ scale * x + offset`` (degenerate-safe)."""
+    n = len(xs)
+    if n == 0:
+        return 1.0, 0.0
+    if n == 1:
+        return (ys[0] / xs[0] if xs[0] else 1.0), 0.0
+    mx, my = sum(xs) / n, sum(ys) / n
+    vx = sum((x - mx) ** 2 for x in xs)
+    if vx <= 0.0:
+        return 1.0, my - mx
+    scale = sum((x - mx) * (y - my) for x, y in zip(xs, ys)) / vx
+    return scale, my - scale * mx
+
+
+def log_correlation(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation of log-x vs log-y (the figure-10 trend metric)."""
+    if len(xs) < 3:
+        return float("nan")
+    lx = [math.log(max(x, 1e-9)) for x in xs]
+    ly = [math.log(max(y, 1e-9)) for y in ys]
+    n = len(lx)
+    mx, my = sum(lx) / n, sum(ly) / n
+    cov = sum((x - mx) * (y - my) for x, y in zip(lx, ly))
+    vx = sum((x - mx) ** 2 for x in lx)
+    vy = sum((y - my) ** 2 for y in ly)
+    if vx <= 0 or vy <= 0:
+        return float("nan")
+    return cov / math.sqrt(vx * vy)
+
+
+def calibrate(
+    points: Sequence[CalibrationPoint], target_name: str, backend: str
+) -> CalibrationReport:
+    """Fit the affine correction and diagnostics over measured points."""
+    xs = [p.predicted_ns for p in points]
+    ys = [p.measured_ns for p in points]
+    scale, offset = affine_fit(xs, ys)
+
+    residual_sums: dict[str, float] = {}
+    residual_counts: dict[str, int] = {}
+    for point in points:
+        if point.measured_ns <= 0:
+            continue
+        rescaled = scale * point.predicted_ns + offset
+        relative = (point.measured_ns - rescaled) / point.measured_ns
+        for op in point.operators:
+            residual_sums[op] = residual_sums.get(op, 0.0) + relative
+            residual_counts[op] = residual_counts.get(op, 0) + 1
+
+    return CalibrationReport(
+        target=target_name,
+        backend=backend,
+        n_programs=len(points),
+        scale=scale,
+        offset=offset,
+        correlation=log_correlation(xs, ys),
+        operator_residuals={
+            op: residual_sums[op] / residual_counts[op]
+            for op in sorted(residual_sums)
+        },
+        points=list(points),
+    )
+
+
+def collect_calibration(
+    session,
+    cores,
+    target,
+    *,
+    backend: str = "auto",
+    repeats: int = 3,
+    programs_per_core: int = 3,
+    timing_points: int | None = 24,
+) -> CalibrationReport:
+    """Compile, execute, time, and calibrate over a benchmark list.
+
+    For each benchmark that compiles, up to ``programs_per_core`` frontier
+    programs (cheapest first, plus the transcribed input) are paired:
+    predicted ns from the session's :class:`PerfSimulator`, measured ns
+    from :func:`~repro.exec.timing.measure_executable` over (a slice of)
+    the test points.  Benchmarks that fail to compile or build are skipped
+    — the removal protocol, as everywhere else in the evaluation.
+
+    The backend is resolved *once* for the whole collection
+    (``"auto"`` becomes C or Python up front) and forced per program, so
+    every measurement in one fit comes from the same execution regime:
+    C and Python timings differ by orders of magnitude, and a fit over a
+    silent mixture would be meaningless.  Programs the resolved backend
+    cannot run are skipped, not degraded.
+
+    ``session`` is a :class:`~repro.session.ChassisSession`; it is typed
+    loosely to keep this module importable without the session layer.
+    """
+    from ..ir.printer import expr_to_sexpr
+    from .executable import c_backend_available
+    from .timing import measure_executable
+
+    target = session.resolve_target(target)
+    simulator = session.simulator(target)
+    points: list[CalibrationPoint] = []
+    if backend == "auto":
+        backend = (
+            "c"
+            if target.output_format == "c" and c_backend_available()
+            else "python"
+        )
+    for core in cores:
+        try:
+            result = session.compile(core, target)
+        except Exception:
+            continue  # infeasible pair: removed, as in every experiment
+        samples = result.samples
+        test_points = samples.test[:timing_points] if timing_points else samples.test
+        if not test_points:
+            continue
+        programs = [result.input_candidate] + result.frontier.sorted_by_cost()
+        seen: set[str] = set()
+        for candidate in programs[: programs_per_core + 1]:
+            sexpr = expr_to_sexpr(candidate.program)
+            if sexpr in seen:
+                continue
+            seen.add(sexpr)
+            try:
+                executable = session.executable(
+                    core, target, program=candidate.program, backend=backend
+                )
+                timing = measure_executable(
+                    executable, test_points, repeats=repeats
+                )
+            except Exception:
+                continue  # unbuildable under the resolved backend: skipped
+            predicted = simulator.run_time(
+                candidate.program, test_points, core.precision
+            )
+            points.append(
+                CalibrationPoint(
+                    benchmark=core.name or "<anonymous>",
+                    program=sexpr,
+                    predicted_ns=predicted,
+                    measured_ns=timing.median_ns,
+                    operators=tuple(sorted(candidate.program.operators())),
+                )
+            )
+    return calibrate(points, target.name, backend)

@@ -1,0 +1,211 @@
+"""Turn a compiled float program into something that actually runs.
+
+:func:`executable_for` is the front door of the execution subsystem: given
+a program (an :class:`~repro.ir.expr.Expr` over target operators), its
+benchmark and its target, it picks a backend, emits real source text, and
+returns an :class:`ExecutableProgram` whose calls run *emitted code* — a
+Clang/GCC-compiled shared library for C-emitting targets, or the emitted
+Python text executed in a sandboxed namespace.
+
+Backend selection (``backend="auto"``):
+
+* targets that emit C (``c99``, ``arith``, ``avx``, ``vdt``, ``fdlibm``,
+  ...) use the **C backend** when a system compiler exists *and* the
+  program links — operators with no libm symbol (``fast_exp``) fail the
+  strict ``-Wl,--no-undefined`` build and degrade to Python;
+* everything else — and every machine without a C compiler — uses the
+  **Python backend**.  The degradation is recorded in
+  :attr:`ExecutableProgram.note` so reports can say what actually ran.
+
+Forcing ``backend="c"`` raises :class:`~repro.exec.builder.BuildError`
+instead of degrading; forcing ``backend="python"`` never builds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from ..core.output import sanitize_identifier, to_c, to_python
+from ..ir.expr import Expr
+from ..ir.fpcore import FPCore
+from ..targets.target import Target
+from .builder import BuildCache, BuildError, build_shared, find_compiler, load_function
+from .python_backend import compile_python_function
+
+#: Exceptions emitted code may raise at a point; mapped to NaN, matching
+#: the operators-are-total semantics the machine and scorer use.
+_POINT_ERRORS = (
+    ArithmeticError,  # ZeroDivisionError, OverflowError, FloatingPointError
+    ValueError,
+    TypeError,
+)
+
+BACKENDS = ("auto", "c", "python")
+
+
+def json_float(value: float) -> float | str:
+    """A float as strict-JSON-safe data.
+
+    Executed outputs are routinely non-finite (the run guard maps emitted
+    code's exceptions to NaN), but ``json.dumps`` would emit the bare
+    ``NaN``/``Infinity`` tokens RFC 8259 parsers reject — so non-finite
+    values serialize as their ``repr`` strings (``"nan"``, ``"inf"``,
+    ``"-inf"``) instead.
+    """
+    return value if math.isfinite(value) else repr(value)
+
+
+@dataclass
+class ExecutableProgram:
+    """One program loaded and ready to run over concrete points."""
+
+    #: Which backend actually ran: ``"c"`` or ``"python"``.
+    backend: str
+    #: Language of the source text that was executed.
+    language: str
+    fn_name: str
+    #: The emitted source text (what was compiled/executed).
+    source: str
+    #: Argument order for positional calls (the benchmark's).
+    arg_names: tuple[str, ...]
+    _fn: Callable[..., float] = field(repr=False)
+    #: Built shared-library path (C backend only).
+    lib_path: str | None = None
+    #: Degradation note ("no C compiler on PATH; ..."), empty when the
+    #: requested backend ran.
+    note: str = ""
+
+    def run(self, *args: float) -> float:
+        """Raw positional call (exceptions propagate)."""
+        return float(self._fn(*args))
+
+    def run_args(self, args: tuple) -> float:
+        """One guarded call: emitted-code exceptions become NaN, the same
+        totalization the scoring machinery applies."""
+        try:
+            return float(self._fn(*args))
+        except _POINT_ERRORS:
+            return math.nan
+
+    def run_point(self, point: Mapping[str, float]) -> float:
+        """Guarded call on one named sample point."""
+        return self.run_args(tuple(point[name] for name in self.arg_names))
+
+
+def c_backend_available() -> bool:
+    """True when a system C compiler was discovered (``$REPRO_CC`` aware)."""
+    return find_compiler() is not None
+
+
+def backend_availability(target: Target) -> dict:
+    """Per-target execution capability metadata (``repro targets --json``
+    and the ``/targets`` endpoint).
+
+    ``languages`` are the formats this target's programs are emitted in
+    (its native format first; Python is always emittable because it is the
+    fallback execution vehicle, FPCore is the universal interchange).
+    ``backends`` says which empirical execution backends can run them on
+    *this* machine right now: the C backend needs the target to emit C and
+    a compiler to exist; the Python backend is always available.
+    """
+    languages = []
+    for language in (target.output_format, "python", "fpcore"):
+        if language not in languages:
+            languages.append(language)
+    return {
+        "languages": languages,
+        "backends": {
+            "c": bool(target.output_format == "c" and c_backend_available()),
+            "python": True,
+        },
+    }
+
+
+def executable_for(
+    program: Expr,
+    core: FPCore,
+    target: Target,
+    *,
+    backend: str = "auto",
+    build_cache: BuildCache | None = None,
+    compiler: str | None = None,
+    fn_name: str | None = None,
+) -> ExecutableProgram:
+    """Emit, build/load, and wrap one program; see the module docstring."""
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; one of {BACKENDS}")
+    fn_name = fn_name or sanitize_identifier(core.name)
+    note = ""
+
+    wants_c = backend == "c" or (backend == "auto" and target.output_format == "c")
+    if wants_c:
+        resolved = compiler or find_compiler()
+        if resolved is None:
+            if backend == "c":
+                raise BuildError(
+                    "no C compiler found (searched $REPRO_CC, cc, clang, gcc)"
+                )
+            note = "no C compiler on PATH; executed via the Python backend"
+        else:
+            source = to_c(program, core, target, fn_name)
+            try:
+                lib_path = build_shared(source, compiler=resolved, cache=build_cache)
+                arg_types = tuple(
+                    core.arg_types.get(name, core.precision)
+                    for name in core.arguments
+                )
+                fn = load_function(lib_path, fn_name, arg_types, core.precision)
+            except BuildError as error:
+                if backend == "c":
+                    raise
+                note = f"C build failed ({error}); executed via the Python backend"
+            else:
+                return ExecutableProgram(
+                    backend="c",
+                    language="c",
+                    fn_name=fn_name,
+                    source=source,
+                    arg_names=tuple(core.arguments),
+                    _fn=fn,
+                    lib_path=str(lib_path),
+                )
+
+    source = to_python(program, core, target, fn_name)
+    fn = compile_python_function(source, fn_name, target=target)
+    return ExecutableProgram(
+        backend="python",
+        language="python",
+        fn_name=fn_name,
+        source=source,
+        arg_names=tuple(core.arguments),
+        _fn=fn,
+        note=note,
+    )
+
+
+@dataclass
+class ExecutionRun:
+    """The outputs of running one program over a set of sample points
+    (what :meth:`repro.session.ChassisSession.execute` returns)."""
+
+    benchmark: str
+    target: str
+    backend: str
+    language: str
+    fn_name: str
+    outputs: list[float]
+    note: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "benchmark": self.benchmark,
+            "target": self.target,
+            "backend": self.backend,
+            "language": self.language,
+            "fn_name": self.fn_name,
+            "n_points": len(self.outputs),
+            "outputs": [json_float(value) for value in self.outputs],
+            "note": self.note,
+        }

@@ -1,0 +1,111 @@
+"""Execute emitted Python source in a sandboxed namespace.
+
+The Python twin of :mod:`repro.exec.builder`: where the C backend compiles
+emitted C and loads it with ctypes, this backend ``exec``-utes the emitted
+Python text (:func:`repro.core.output.to_python`) and hands back the
+defined function.  It is the universal fallback — always available, used
+whenever no C compiler exists or a target's operators have no libm symbols
+— and for the ``python`` target it *is* the real empirical backend, since
+emitted Python over :mod:`math` is exactly what that target ships.
+
+The namespace is sandboxed: no ``__import__``, no file or attribute
+escape hatches — just the handful of builtins emitted code actually uses
+(``abs``/``min``/``max``/``round``) and a ``math`` binding.  For targets
+whose operators all live in the real :mod:`math` module that binding is
+the module itself; targets with approximate or helper operators
+(``fast_exp`` from VDT, ``sind`` from Julia) get a :class:`MathLink` that
+resolves real ``math`` attributes first and falls back to the target's own
+linked/synthesized implementations — the same ``#:link`` notion the paper
+uses for operators that exist outside the language's standard library.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from ..targets.target import Target
+
+#: The only builtins emitted Python code may touch.
+_SAFE_BUILTINS = {"abs": abs, "min": min, "max": max, "round": round}
+
+
+class PythonExecError(RuntimeError):
+    """Emitted Python source failed to execute or define its function."""
+
+
+class MathLink:
+    """A ``math``-shaped object backed by the real module plus one target.
+
+    Attribute lookup tries :mod:`math` first (so ``math.sin`` is the real
+    libm-backed function), then the target's implementation registry by
+    base name (``sind`` resolves to the Julia target's synthesized
+    correctly-rounded ``sind.f64``), preferring the binary64 variant when
+    an operator exists at several precisions.  Suffix-qualified names are
+    also linked (``cast_f32`` → ``cast.f32``) for operators whose
+    precision variants differ semantically — ``cast.f32`` rounds while
+    ``cast.f64`` is the identity, so collapsing them to one base-name
+    binding would silently drop binary32 rounding.
+    """
+
+    def __init__(self, target: Target):
+        self._linked: dict[str, Callable[..., float]] = {}
+        by_base: dict[str, list[tuple[str, Callable[..., float]]]] = {}
+        for name, spec in target.impl_registry().items():
+            base, _dot, suffix = name.partition(".")
+            by_base.setdefault(base, []).append((name, spec.impl))
+            if suffix:
+                self._linked[f"{base}_{suffix}"] = spec.impl
+        for base, impls in by_base.items():
+            # Prefer the .f64 variant; ties broken by name for determinism.
+            impls.sort(key=lambda pair: (not pair[0].endswith(".f64"), pair[0]))
+            self._linked.setdefault(base, impls[0][1])
+
+    def __getattr__(self, name: str):
+        value = getattr(math, name, None)
+        if value is not None:
+            return value
+        linked = self._linked.get(name)
+        if linked is not None:
+            return linked
+        raise AttributeError(
+            f"operator {name!r} exists neither in math nor in the target's "
+            f"implementation registry"
+        )
+
+
+def exec_namespace(target: Target | None = None) -> dict:
+    """The sandboxed globals emitted Python source runs under."""
+    return {
+        "__builtins__": dict(_SAFE_BUILTINS),
+        "math": MathLink(target) if target is not None else math,
+    }
+
+
+def compile_python_function(
+    source: str, fn_name: str, target: Target | None = None
+) -> Callable[..., float]:
+    """Execute emitted Python source; return the function it defines.
+
+    The source's ``import math`` line is honored by pre-binding ``math``
+    in the namespace (the sandbox has no ``__import__``), so the emitted
+    text runs unmodified.
+    """
+    namespace = exec_namespace(target)
+    # The emitted module starts with "import math"; the sandbox has no
+    # __import__, so satisfy it by pre-binding and dropping the line.
+    lines = [
+        line
+        for line in source.splitlines()
+        if line.strip() not in ("import math",)
+    ]
+    try:
+        exec(compile("\n".join(lines), f"<emitted {fn_name}>", "exec"), namespace)
+    except Exception as error:
+        raise PythonExecError(f"emitted Python failed to execute: {error}") from error
+    fn = namespace.get(fn_name)
+    if not callable(fn):
+        raise PythonExecError(
+            f"emitted Python defines no function {fn_name!r}"
+        )
+    return fn

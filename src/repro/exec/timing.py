@@ -1,0 +1,131 @@
+"""Measure real per-point wall-clock cost of executed emitted code.
+
+The performance *simulator* (:mod:`repro.perf.simulator`) predicts run
+time from operator latency tables; this module measures it.  The protocol
+mirrors how the paper times compiled binaries over pre-sampled points,
+adapted to a shared machine:
+
+* the whole point set is evaluated in an inner loop sized so one sample
+  takes a measurable amount of wall clock (default ≥ 2 ms — far above
+  timer granularity);
+* ``warmup`` full samples run first (cache warming, JIT-free but branch
+  predictors and the allocator still settle);
+* ``repeats`` samples are then taken and summarized by their **median**
+  (robust to scheduler noise), reported as nanoseconds per evaluation.
+
+Measured numbers include the call-boundary overhead of reaching the
+emitted code (a ctypes call for the C backend, a Python call for the
+Python backend).  That overhead is near-constant per call, which is why
+the calibration layer (:mod:`repro.exec.calibrate`) fits an *affine*
+model — scale **and** offset — rather than a bare scale factor.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..deadline import check_deadline
+from .executable import ExecutableProgram
+
+#: Minimum wall clock (ns) one timing sample should cover.
+DEFAULT_TARGET_SAMPLE_NS = 2_000_000
+
+
+@dataclass
+class TimingReport:
+    """Wall-clock cost of one program over one point set."""
+
+    backend: str
+    n_points: int
+    repeats: int
+    warmup: int
+    #: Inner-loop multiplier chosen so a sample is measurable.
+    inner: int
+    #: Mean ns/evaluation for each repeat (in measurement order).
+    per_repeat_ns: list[float]
+
+    @property
+    def median_ns(self) -> float:
+        """Median-of-repeats ns per evaluation (the headline number)."""
+        return statistics.median(self.per_repeat_ns)
+
+    @property
+    def mean_ns(self) -> float:
+        return sum(self.per_repeat_ns) / max(1, len(self.per_repeat_ns))
+
+    @property
+    def min_ns(self) -> float:
+        return min(self.per_repeat_ns)
+
+    def as_dict(self) -> dict:
+        return {
+            "backend": self.backend,
+            "n_points": self.n_points,
+            "repeats": self.repeats,
+            "warmup": self.warmup,
+            "inner": self.inner,
+            "per_repeat_ns": self.per_repeat_ns,
+            "median_ns": self.median_ns,
+            "mean_ns": self.mean_ns,
+            "min_ns": self.min_ns,
+        }
+
+
+def measure_executable(
+    executable: ExecutableProgram,
+    points: Sequence[Mapping[str, float]],
+    *,
+    repeats: int = 5,
+    warmup: int = 1,
+    target_sample_ns: int = DEFAULT_TARGET_SAMPLE_NS,
+) -> TimingReport:
+    """Measure one executable's per-evaluation wall-clock cost.
+
+    Every evaluation goes through the guarded call path (exceptions → NaN)
+    so Python-backend programs that raise at some points time the code
+    that actually runs in production, not an idealized happy path.
+    """
+    if not points:
+        raise ValueError("need at least one point to measure run time")
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    argsets = [
+        tuple(point[name] for name in executable.arg_names) for point in points
+    ]
+    run = executable.run_args
+
+    def one_pass() -> int:
+        start = time.perf_counter_ns()
+        for args in argsets:
+            run(args)
+        return time.perf_counter_ns() - start
+
+    # Size the inner loop so one sample covers target_sample_ns.
+    first = max(1, one_pass())
+    inner = max(1, int(target_sample_ns // first))
+
+    for _ in range(warmup):
+        check_deadline()
+        for _ in range(inner):
+            one_pass()
+
+    per_repeat: list[float] = []
+    evaluations = inner * len(argsets)
+    for _ in range(repeats):
+        check_deadline()
+        total = 0
+        for _ in range(inner):
+            total += one_pass()
+        per_repeat.append(total / evaluations)
+
+    return TimingReport(
+        backend=executable.backend,
+        n_points=len(argsets),
+        repeats=repeats,
+        warmup=warmup,
+        inner=inner,
+        per_repeat_ns=per_repeat,
+    )

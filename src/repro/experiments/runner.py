@@ -116,16 +116,61 @@ class ClangComparison:
     #: per benchmark vs Clang under a second.
     chassis_compile_s: float = 0.0
     clang_compile_s: float = 0.0
+    #: Whether run times were *measured* on executed emitted code rather
+    #: than predicted by the performance simulator.
+    empirical: bool = False
 
 
 def run_clang_comparison(
-    cores: list[FPCore], target: Target, config: ExperimentConfig | None = None
+    cores: list[FPCore],
+    target: Target,
+    config: ExperimentConfig | None = None,
+    *,
+    empirical: bool = False,
 ) -> list[ClangComparison]:
-    """Chassis vs 12 Clang configurations; speedups relative to -O0."""
+    """Chassis vs 12 Clang configurations; speedups relative to -O0.
+
+    With ``empirical=True`` program run times come from the execution
+    backend (:mod:`repro.exec`) — emitted code compiled by the system
+    compiler (or the Python backend when none exists) and wall-clock
+    timed over the test points — instead of from the performance
+    simulator, closing the figure's loop on real hardware.  Speedups are
+    ratios, so measured and simulated times must never mix within one
+    benchmark: if *any* of a benchmark's programs cannot be measured, the
+    whole benchmark falls back to simulated time.
+    """
     config = config or ExperimentConfig()
     session = config.get_session()
     simulator = session.simulator(target)
     results: list[ClangComparison] = []
+
+    def runtimes_for(programs, core, samples) -> tuple[dict[int, float], bool]:
+        """``(id(program) -> ns/eval, measured?)`` — empirically for every
+        program or, if any fails to build/run, from the simulator for
+        every program (a measured-to-simulated speedup ratio is
+        meaningless), with the flag recording which actually happened so
+        the per-benchmark ``empirical`` field stays honest."""
+        if empirical:
+            from ..exec.timing import measure_executable
+
+            try:
+                times = {}
+                for program in programs:
+                    executable = session.executable(
+                        core, target, program=program
+                    )
+                    times[id(program)] = measure_executable(
+                        executable,
+                        samples.test[:24] or samples.train[:24],
+                        repeats=3,
+                    ).median_ns
+                return times, True
+            except Exception:
+                pass  # some program is unrunnable: simulate them all
+        return {
+            id(program): _runtime(simulator, program, samples, core.precision)
+            for program in programs
+        }, False
 
     outcomes = config.compile_all([(core, target) for core in cores])
     for core, outcome in zip(cores, outcomes):
@@ -141,8 +186,16 @@ def run_clang_comparison(
         except Untranscribable:
             continue
         clang_elapsed = _time.monotonic() - clang_start
+        times, measured = runtimes_for(
+            {id(p): p for p in (
+                [o.program for o in clang_outputs]
+                + [c.program for c in result.frontier]
+            )}.values(),
+            core,
+            samples,
+        )
         base = next(o for o in clang_outputs if o.level == "-O0" and not o.fast_math)
-        base_time = _runtime(simulator, base.program, samples, core.precision) * base.time_factor
+        base_time = times[id(base.program)] * base.time_factor
         if base_time <= 0:
             continue
 
@@ -150,8 +203,7 @@ def run_clang_comparison(
         from ..accuracy.scoring import score_program
 
         for output in clang_outputs:
-            time = _runtime(simulator, output.program, samples, core.precision)
-            time *= output.time_factor
+            time = times[id(output.program)] * output.time_factor
             error = score_program(
                 output.program, target, samples.test, samples.test_exact, core.precision
             )
@@ -162,7 +214,7 @@ def run_clang_comparison(
 
         chassis_entries: list[Entry] = []
         for candidate in result.frontier:
-            time = _runtime(simulator, candidate.program, samples, core.precision)
+            time = times[id(candidate.program)]
             chassis_entries.append(
                 (base_time / time, _accuracy_bits(candidate.error, core.precision))
             )
@@ -173,6 +225,7 @@ def run_clang_comparison(
                 clang_entries,
                 chassis_compile_s=result.elapsed,
                 clang_compile_s=clang_elapsed,
+                empirical=measured,
             )
         )
     return results

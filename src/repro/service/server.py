@@ -20,6 +20,13 @@ Endpoints (all bodies JSON):
   row shape as ``repro batch --report``.
 * ``POST /score``   — ``{"core": ..., "target": ..., "program": ...?}``;
   mean bits of error of a program (default: the transcribed input).
+* ``POST /validate`` — ``{"core": ..., "target": ..., "program": ...?,
+  "backend": "auto"|"c"|"python"?}``; compiles (through the session's
+  worker pool when it has one), *executes* the emitted code — a
+  system-compiler-built shared library, or the sandboxed Python backend
+  when no C compiler exists — and reports empirical-vs-oracle and
+  empirical-vs-machine agreement with per-point mismatch localization
+  (:class:`~repro.exec.validate.ValidationReport`).
 
 Malformed requests (bad JSON, missing/unknown fields, unparseable cores)
 get a 4xx with ``{"error": ...}``; infeasible benchmark/target pairs are
@@ -43,6 +50,9 @@ from urllib.parse import urlparse
 from ..accuracy.sampler import SamplingError
 from ..core.transcribe import Untranscribable
 from ..deadline import DeadlineExceeded
+from ..exec.builder import BuildError
+from ..exec.executable import BACKENDS
+from ..exec.python_backend import PythonExecError
 from ..ir.parser import parse_expr
 from ..targets import TARGET_NAMES
 from .batch import report_line
@@ -205,6 +215,7 @@ class ChassisRequestHandler(BaseHTTPRequestHandler):
             "/compile": self._post_compile,
             "/batch": self._post_batch,
             "/score": self._post_score,
+            "/validate": self._post_validate,
         }.get(path)
         if handler is None:
             self._send_json(404, {"error": f"no such endpoint: {path}"})
@@ -309,6 +320,59 @@ class ChassisRequestHandler(BaseHTTPRequestHandler):
                 "timeout": sum(o.status == "timeout" for o in outcomes),
                 "cached": sum(o.cached for o in outcomes),
             },
+        })
+
+    def _post_validate(self, body: dict) -> None:
+        target = self._resolve_target(_require(body, "target", str))
+        core = self._parse_core(_require(body, "core", str), target)
+        config, sample_config = self._configs_from(body)
+        timeout = self._timeout_from(body)
+        backend = body.get("backend", "auto")
+        if backend not in BACKENDS:
+            raise RequestError(
+                f"field 'backend' must be one of {', '.join(BACKENDS)}"
+            )
+        program = body.get("program")
+        if program is not None:
+            if not isinstance(program, str):
+                raise RequestError("field 'program' must be a string")
+            try:
+                program = parse_expr(program, known_ops=set(target.operators))
+            except Exception as error:
+                raise RequestError(f"unparseable program: {error}") from None
+        benchmark = core.name or "<anonymous>"
+        try:
+            report = self.session.validate(
+                core, target, program=program, backend=backend,
+                config=config, sample_config=sample_config, timeout=timeout,
+            )
+        except (Untranscribable, SamplingError, BuildError, PythonExecError) as error:
+            # Infeasible pair / forced backend without a compiler /
+            # unexecutable emitted source: data, not a server error —
+            # same contract as /compile failures.
+            self._send_json(200, {
+                "status": "failed",
+                "benchmark": benchmark,
+                "target": target.name,
+                "error_type": type(error).__name__,
+                "error": str(error),
+            })
+            return
+        except DeadlineExceeded:
+            effective = timeout if timeout is not None else self.session.timeout
+            self._send_json(200, {
+                "status": "timeout",
+                "benchmark": benchmark,
+                "target": target.name,
+                "error_type": "JobTimeout",
+                "error": f"exceeded {effective}s",
+            })
+            return
+        self._send_json(200, {
+            "status": "ok",
+            "benchmark": benchmark,
+            "target": target.name,
+            "report": report.as_dict(),
         })
 
     def _post_score(self, body: dict) -> None:

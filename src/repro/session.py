@@ -10,7 +10,10 @@ A :class:`ChassisSession` holds, for its whole lifetime,
   warm worker processes shared by every batch call until :meth:`close`,
 * the per-job timeout, enforced everywhere — pool workers *and* inline
   compiles on any thread — via :mod:`repro.deadline`,
-* a thread pool backing the async-style :meth:`submit`/:class:`JobHandle`.
+* a thread pool backing the async-style :meth:`submit`/:class:`JobHandle`,
+* the empirical execution layer (:mod:`repro.exec`): a content-addressed C
+  build cache next to the persistent compile cache, loaded-executable and
+  validation-report LRUs behind :meth:`execute`/:meth:`validate`.
 
 Every consumer — the CLI, ``repro serve``, the experiment runners, the
 baselines — goes through a session, so repeated requests hit warm state
@@ -59,13 +62,29 @@ from .core.pipeline import (
 )
 from .core.transcribe import Untranscribable
 from .cost.model import TargetCostModel
-from .deadline import DeadlineExceeded, deadline
+from .deadline import DeadlineExceeded, check_deadline, deadline
+from .exec.builder import BuildCache
+from .exec.executable import (
+    ExecutableProgram,
+    ExecutionRun,
+    backend_availability,
+    executable_for,
+)
+from .exec.validate import ValidationReport, validate_executable
+from .ir.expr import Expr
 from .ir.fpcore import FPCore, parse_fpcore
 from .ir.parser import parse_expr
+from .ir.printer import expr_to_sexpr
 from .perf.simulator import PerfSimulator
 from .rival.eval import RivalEvaluator
 from .service.api import JobSpec, _poolable, run_compile_jobs
-from .service.cache import CompileCache, job_fingerprint, sample_fingerprint
+from .service.cache import (
+    CompileCache,
+    core_fingerprint,
+    job_fingerprint,
+    sample_fingerprint,
+    target_fingerprint,
+)
 from .service.pool import WorkerPool
 from .service.results import result_from_dict, result_to_dict
 from .service.scheduler import JobOutcome, JobTimeout
@@ -85,6 +104,10 @@ class SessionStats:
     sample_misses: int = 0
     batches: int = 0
     submitted: int = 0
+    #: Empirical-execution counters (the exec subsystem).
+    executions: int = 0
+    validations: int = 0
+    validation_hits: int = 0
 
     def as_dict(self) -> dict:
         return dataclasses.asdict(self)
@@ -113,6 +136,30 @@ class JobHandle:
 
     def exception(self, timeout: float | None = None) -> BaseException | None:
         return self._future.exception(timeout)
+
+
+def targets_info() -> list[dict]:
+    """JSON-able description of every registered target (``/targets``,
+    ``repro targets --json``) — reads only the registry, no session needed.
+
+    ``capabilities`` carries execution metadata per target: which
+    languages its programs are emitted in and which empirical backends
+    (C build / sandboxed Python) can run them on this machine, so clients
+    can tell which targets support empirical validation before posting a
+    ``/validate`` job.
+    """
+    return [
+        {
+            "name": target.name,
+            "operators": len(target.operators),
+            "linkage": target.linkage,
+            "if_style": target.if_style,
+            "cost_source": target.cost_source,
+            "description": target.description,
+            "capabilities": backend_availability(target),
+        }
+        for target in all_targets()
+    ]
 
 
 class ChassisSession:
@@ -164,6 +211,15 @@ class ChassisSession:
         # long-lived session does not retain every Target it ever saw —
         # same idiom as the target-fingerprint cache.
         self._simulators: dict[int, PerfSimulator] = {}
+        #: Loaded executables (content-keyed LRU): repeated execute /
+        #: validate calls on the same program reuse the loaded library or
+        #: compiled Python function instead of re-emitting and re-linking.
+        self._executables: OrderedDict[tuple, ExecutableProgram] = OrderedDict()
+        #: Validation reports, cached like compile results are.
+        self._validations: OrderedDict[tuple, ValidationReport] = OrderedDict()
+        #: Content-addressed C build cache; lives next to the persistent
+        #: compile cache when one is configured, else an ephemeral dir.
+        self._build_cache: BuildCache | None = None
         self._executor: ThreadPoolExecutor | None = None
         #: Persistent worker pool (jobs >= 2), created on first batch use
         #: so sessions that never fan out never spawn processes.
@@ -487,6 +543,237 @@ class ChassisSession:
             program, target, samples.test, samples.test_exact, core.precision
         )
 
+    # --- empirical execution --------------------------------------------------------
+
+    def build_cache(self) -> BuildCache:
+        """The session's content-addressed C build cache.
+
+        Lives next to the persistent compile cache (``<cache>/builds``)
+        when one is configured, so built shared libraries survive the
+        process like compile results do; sessions without a persistent
+        cache get an ephemeral directory cleaned in :meth:`close`.  (A
+        closed session stays usable for synchronous calls — see
+        :meth:`close` — so using one after close recreates an ephemeral
+        cache; that one is cleaned by its own finalizer at collection.)
+        """
+        with self._lock:
+            if self._build_cache is None:
+                if self.cache is not None:
+                    self._build_cache = BuildCache(self.cache.root / "builds")
+                else:
+                    self._build_cache = BuildCache.ephemeral()
+            return self._build_cache
+
+    def _compile_for_exec(
+        self,
+        core: FPCore,
+        target: Target,
+        config: CompileConfig | None,
+        sample_config: SampleConfig | None,
+        timeout: float | None,
+    ) -> CompileResult:
+        """The compilation feeding one execute/validate call.
+
+        Plain registry-target requests with ``jobs >= 2`` are dispatched
+        through the session's persistent worker pool (real process-level
+        parallelism for concurrent ``/validate`` requests); everything
+        else compiles inline under the oracle lock and the cooperative
+        deadline.  Warm cache hits resolve instantly either way.
+        """
+        if (
+            config is None and sample_config is None and timeout is None
+            and self.jobs > 1 and _poolable(target)
+        ):
+            return self._pooled_compile(core, target)
+        return self.compile(
+            core, target,
+            config=config, sample_config=sample_config, timeout=timeout,
+        )
+
+    @staticmethod
+    def _program_from(result: CompileResult, program: Expr | None) -> Expr:
+        """The program one execute/validate call targets: an explicit one,
+        else the frontier's most accurate output, else the transcribed
+        input (an empty frontier still has an input candidate)."""
+        if program is not None:
+            return program
+        if len(result.frontier):
+            return result.frontier.best_error().program
+        return result.input_candidate.program
+
+    def executable(
+        self,
+        core: FPCore | str,
+        target: Target | str,
+        *,
+        program: Expr | str | None = None,
+        backend: str = "auto",
+        config: CompileConfig | None = None,
+        sample_config: SampleConfig | None = None,
+        timeout: float | None = None,
+    ) -> ExecutableProgram:
+        """Emit + build/load one program as real executable code (cached).
+
+        ``program`` defaults to the most accurate frontier output of a
+        (cache-warm) compilation.  Loaded executables are kept in a
+        content-keyed LRU, so repeated execute/validate calls on the same
+        program reuse the loaded shared library or compiled function.
+        """
+        target = self.resolve_target(target)
+        core = self.parse(core, target)
+        if isinstance(program, str):
+            program = parse_expr(program, known_ops=set(target.operators))
+        if program is None:
+            result = self._compile_for_exec(
+                core, target, config, sample_config, timeout
+            )
+            program = self._program_from(result, None)
+        key = (
+            core_fingerprint(core),
+            target_fingerprint(target),
+            expr_to_sexpr(program),
+            backend,
+        )
+        with self._lock:
+            cached = self._executables.get(key)
+            if cached is not None:
+                self._executables.move_to_end(key)
+                return cached
+        # Emitting + building takes no oracle lock, so the deadline can
+        # arm directly; the compiler subprocess inside is capped by the
+        # remaining budget (it cannot poll cooperatively).
+        with deadline(self.timeout if timeout is None else timeout):
+            executable = executable_for(
+                program, core, target,
+                backend=backend, build_cache=self.build_cache(),
+            )
+        with self._lock:
+            self._executables[key] = executable
+            while len(self._executables) > 64:
+                # Eviction drops the Python wrapper only; the underlying
+                # shared library is deliberately NOT dlclosed — callers
+                # may still hold the returned ExecutableProgram (unloading
+                # under a live function pointer is undefined behavior),
+                # and re-dlopening an already-loaded content-addressed
+                # path just bumps its refcount rather than re-mapping it.
+                self._executables.popitem(last=False)
+        return executable
+
+    def execute(
+        self,
+        core: FPCore | str,
+        target: Target | str,
+        *,
+        program: Expr | str | None = None,
+        backend: str = "auto",
+        config: CompileConfig | None = None,
+        sample_config: SampleConfig | None = None,
+        timeout: float | None = None,
+    ) -> ExecutionRun:
+        """Run emitted code over the session's sampled test points.
+
+        The counterpart of :meth:`score` that *executes* instead of
+        evaluating through the machine: outputs come from a compiled
+        shared library (or the sandboxed Python backend), point by point,
+        under the cooperative deadline.
+        """
+        target = self.resolve_target(target)
+        core = self.parse(core, target)
+        effective_timeout = self.timeout if timeout is None else timeout
+        # Each phase gets the budget for its *compute*: compile and
+        # sampling arm their own deadlines after taking the oracle lock
+        # (queueing behind a concurrent compile must not count — the PR-3
+        # contract), while the lock-free phases here — the C build (its
+        # compiler subprocess is capped by the remaining budget) and the
+        # execution loop — are bounded directly.
+        executable = self.executable(
+            core, target, program=program, backend=backend,
+            config=config, sample_config=sample_config, timeout=timeout,
+        )
+        samples = self.samples_for(core, sample_config, timeout=effective_timeout)
+        points = samples.test or samples.train
+        with deadline(effective_timeout):
+            outputs = []
+            for point in points:
+                check_deadline()
+                outputs.append(executable.run_point(point))
+        with self._lock:
+            self.stats.executions += 1
+        return ExecutionRun(
+            benchmark=core.name or "<anonymous>",
+            target=target.name,
+            backend=executable.backend,
+            language=executable.language,
+            fn_name=executable.fn_name,
+            outputs=outputs,
+            note=executable.note,
+        )
+
+    def validate(
+        self,
+        core: FPCore | str,
+        target: Target | str,
+        *,
+        program: Expr | str | None = None,
+        backend: str = "auto",
+        config: CompileConfig | None = None,
+        sample_config: SampleConfig | None = None,
+        timeout: float | None = None,
+    ) -> ValidationReport:
+        """Empirically validate a compilation against oracle and machine.
+
+        Compiles (warm-cache, pool-dispatched when the session has one),
+        executes the chosen program — the most accurate frontier output by
+        default — over the sampled points, and cross-checks the executed
+        outputs against the Rival oracle's exact values and the fpeval
+        machine's evaluation (see
+        :class:`~repro.exec.validate.ValidationReport`).  Reports are
+        cached in the session: repeating a validation is a lookup.
+        """
+        target = self.resolve_target(target)
+        core = self.parse(core, target)
+        if isinstance(program, str):
+            program = parse_expr(program, known_ops=set(target.operators))
+        effective_timeout = self.timeout if timeout is None else timeout
+        # Phase-by-phase deadlines, like compile itself: oracle-locked
+        # phases (the compile, sampling) arm theirs after taking the lock
+        # so queueing behind concurrent requests does not count; the
+        # lock-free phases (build, cross-check loop) are bounded here.
+        resolved = program
+        if resolved is None:
+            result = self._compile_for_exec(
+                core, target, config, sample_config, timeout
+            )
+            resolved = self._program_from(result, None)
+        effective_samples = sample_config or self.sample_config
+        key = (
+            core_fingerprint(core),
+            target_fingerprint(target),
+            expr_to_sexpr(resolved),
+            backend,
+            sample_fingerprint(core, effective_samples),
+        )
+        with self._lock:
+            cached = self._validations.get(key)
+            if cached is not None:
+                self._validations.move_to_end(key)
+                self.stats.validation_hits += 1
+                return cached
+        executable = self.executable(
+            core, target, program=resolved, backend=backend, timeout=timeout,
+        )
+        samples = self.samples_for(core, effective_samples, timeout=effective_timeout)
+        with deadline(effective_timeout):
+            report = validate_executable(
+                executable, resolved, core, target, samples
+            )
+        with self._lock:
+            self.stats.validations += 1
+            self._validations[key] = report
+            while len(self._validations) > 256:
+                self._validations.popitem(last=False)
+        return report
+
     def shared_samples_for(
         self,
         cores: list[FPCore],
@@ -691,18 +978,9 @@ class ChassisSession:
     # --- introspection / lifecycle --------------------------------------------------
 
     def targets_info(self) -> list[dict]:
-        """JSON-able description of every registered target (``/targets``)."""
-        return [
-            {
-                "name": target.name,
-                "operators": len(target.operators),
-                "linkage": target.linkage,
-                "if_style": target.if_style,
-                "cost_source": target.cost_source,
-                "description": target.description,
-            }
-            for target in all_targets()
-        ]
+        """JSON-able description of every registered target (``/targets``);
+        see the module-level :func:`targets_info`."""
+        return targets_info()
 
     def close(self) -> None:
         """Drain the submit pool and the worker pool; the session stays
@@ -710,7 +988,14 @@ class ChassisSession:
         with self._lock:
             executor, self._executor = self._executor, None
             pool, self._pool = self._pool, None
+            build_cache, self._build_cache = self._build_cache, None
+            self._executables.clear()
+            self._validations.clear()
             self._closed = True
+        if build_cache is not None:
+            # Removes the backing directory only for ephemeral caches; a
+            # persistent one (next to the compile cache) is kept warm.
+            build_cache.cleanup()
         if executor is not None:
             executor.shutdown(wait=True)
         if pool is not None:

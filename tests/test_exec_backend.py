@@ -1,0 +1,412 @@
+"""Tests for the empirical execution backends (repro.exec low level).
+
+Covers compiler discovery (including the ``REPRO_CC=none`` disable knob CI
+uses for its no-compiler leg), the content-addressed build cache, the
+sandboxed Python backend, identifier sanitization for weird FPCore names,
+and — the correctness contract — that executed emitted code agrees with
+the fpeval machine for every builtin target over a sample of benchsuite
+cores.  All C-backend tests auto-skip when no system compiler exists.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.accuracy.sampler import SampleConfig, sample_core
+from repro.benchsuite import core_named
+from repro.core.output import sanitize_identifier, to_c, to_python
+from repro.core.transcribe import Untranscribable, transcribe
+from repro.exec import (
+    BuildCache,
+    BuildError,
+    MathLink,
+    PythonExecError,
+    backend_availability,
+    build_shared,
+    c_backend_available,
+    compile_python_function,
+    executable_for,
+    find_compiler,
+    validate_program,
+)
+from repro.exec import builder
+from repro.ir.fpcore import parse_fpcore
+from repro.targets import TARGET_NAMES, get_target
+
+HAVE_CC = c_backend_available()
+needs_cc = pytest.mark.skipif(not HAVE_CC, reason="no C compiler on PATH")
+
+SMALL = SampleConfig(n_train=4, n_test=8, min_points=4)
+
+
+# --- compiler discovery --------------------------------------------------------------
+
+
+class TestFindCompiler:
+    def test_disable_via_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CC", "none")
+        builder._COMPILER_CACHE.clear()
+        assert find_compiler() is None
+        assert not c_backend_available()
+
+    def test_env_names_a_compiler(self, monkeypatch):
+        real = find_compiler()
+        if real is None:
+            pytest.skip("no C compiler on PATH")
+        monkeypatch.setenv("REPRO_CC", real)
+        builder._COMPILER_CACHE.clear()
+        assert find_compiler() == real
+
+    def test_probe_is_cached_per_env_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CC", "off")
+        builder._COMPILER_CACHE.clear()
+        assert find_compiler() is None
+        # A poisoned cache entry would be returned verbatim: prove the
+        # second call is the cache, not a re-probe.
+        builder._COMPILER_CACHE["off"] = "sentinel"
+        assert find_compiler() == "sentinel"
+        builder._COMPILER_CACHE.clear()
+
+
+# --- identifier sanitization (satellite) ---------------------------------------------
+
+
+class TestSanitizeIdentifier:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("sqrt-sub", "sqrt_sub"),
+            ("a b c", "a_b_c"),
+            ("f.g", "f_g"),
+            ("2nd try (fast)", "_2nd_try__fast_"),
+            ("", "program"),
+            ("__ok__", "__ok__"),
+            # Keywords and the math binding are valid-looking but unusable.
+            ("lambda", "lambda_"),
+            ("double", "double_"),
+            ("math", "math_"),
+        ],
+    )
+    def test_cases(self, name, expected):
+        assert sanitize_identifier(name) == expected
+
+    def test_keyword_argument_renders_executable_python(self, c99):
+        from repro.ir.expr import App, Var
+
+        template = parse_fpcore(
+            "(FPCore kw (a) (+ a 1))", known_ops=set(c99.operators)
+        )
+        core = type(template)(
+            arguments=("lambda",),
+            body=App("+", (Var("lambda"), template.body.args[1])),
+            name="kw",
+            precision=template.precision,
+        )
+        program = transcribe(core.body, c99, core.precision)
+        source = to_python(program, core, c99)
+        assert "def kw(lambda_):" in source
+        executable = executable_for(program, core, c99, backend="python")
+        assert executable.run_point({"lambda": 2.0}) == 3.0
+
+    def test_weird_names_render_valid_c_and_python(self, c99):
+        core = parse_fpcore(
+            '(FPCore (x) :name "2nd try (v1.5)" :pre (< 1 x 2) (+ x 1))',
+            known_ops=set(c99.operators),
+        )
+        # The transport layer carries odd names in :name; the renderers
+        # must still emit valid identifiers.
+        core = type(core)(
+            arguments=core.arguments, body=core.body,
+            name="2nd try (v1.5)", precision=core.precision, pre=core.pre,
+        )
+        program = transcribe(core.body, c99, core.precision)
+        c_src = to_c(program, core, c99)
+        py_src = to_python(program, core, c99)
+        assert "double _2nd_try__v1_5_(double x)" in c_src
+        assert "def _2nd_try__v1_5_(x):" in py_src
+        fn = compile_python_function(py_src, "_2nd_try__v1_5_", target=c99)
+        assert fn(1.5) == 2.5
+
+    def test_weird_argument_names_render_and_execute(self, c99):
+        # Argument names are as unconstrained as core names; both the
+        # signature and every body reference must be renamed consistently
+        # (and uniquified: x-y and x_y collide after sanitization).
+        from repro.ir.expr import App, Var
+
+        template = parse_fpcore(
+            "(FPCore coll (a b) (+ a b))", known_ops=set(c99.operators)
+        )
+        core = type(template)(
+            arguments=("x-y", "x_y"),
+            body=App("+", (Var("x-y"), Var("x_y"))),
+            name="coll",
+            precision=template.precision,
+        )
+        program = transcribe(core.body, c99, core.precision)
+        source = to_python(program, core, c99)
+        assert "def coll(x_y, x_y_2):" in source
+        executable = executable_for(program, core, c99, backend="python")
+        # run_point still looks points up under the *original* names.
+        assert executable.run_point({"x-y": 1.5, "x_y": 2.0}) == 3.5
+        c_source = to_c(program, core, c99)
+        assert "double coll(double x_y, double x_y_2)" in c_source
+        if HAVE_CC:
+            built = executable_for(program, core, c99, backend="c")
+            assert built.run_point({"x-y": 1.5, "x_y": 2.0}) == 3.5
+
+    @needs_cc
+    def test_weird_name_builds_and_runs_as_c(self, c99, tmp_path):
+        core = parse_fpcore(
+            "(FPCore (x) (+ x 1))", known_ops=set(c99.operators)
+        )
+        core = type(core)(
+            arguments=core.arguments, body=core.body,
+            name="weird name.v2", precision=core.precision,
+        )
+        program = transcribe(core.body, c99, core.precision)
+        executable = executable_for(
+            program, core, c99, backend="c", build_cache=BuildCache(tmp_path)
+        )
+        assert executable.fn_name == "weird_name_v2"
+        assert executable.run(41.0) == 42.0
+
+
+# --- the builder ---------------------------------------------------------------------
+
+
+@needs_cc
+class TestBuilder:
+    SRC = "double f(double x) { return x * 2.0; }\n"
+
+    def test_build_cache_hit_skips_recompile(self, tmp_path):
+        cache = BuildCache(tmp_path)
+        first = build_shared(self.SRC, cache=cache)
+        second = build_shared(self.SRC, cache=cache)
+        assert first == second
+        assert cache.builds == 1 and cache.hits == 1
+        assert len(cache) == 1
+
+    def test_different_source_different_entry(self, tmp_path):
+        cache = BuildCache(tmp_path)
+        a = build_shared(self.SRC, cache=cache)
+        b = build_shared("double f(double x) { return x; }\n", cache=cache)
+        assert a != b and cache.builds == 2
+
+    def test_bad_source_raises_build_error(self, tmp_path):
+        with pytest.raises(BuildError):
+            build_shared("this is not C at all {", cache=BuildCache(tmp_path))
+
+    def test_missing_symbol_fails_at_build_time(self, tmp_path):
+        # -Wl,--no-undefined: an operator with no libm symbol must fail
+        # the *build* (so auto mode can degrade), not the first call.
+        src = "double f(double x) { return no_such_symbol_anywhere(x); }\n"
+        with pytest.raises(BuildError):
+            build_shared(src, cache=BuildCache(tmp_path))
+
+    def test_ephemeral_cache_cleanup(self):
+        cache = BuildCache.ephemeral()
+        root = cache.root
+        build_shared(self.SRC, cache=cache)
+        assert root.exists()
+        cache.cleanup()
+        assert not root.exists()
+
+    def test_concurrent_builds_of_same_source_all_succeed(self, tmp_path):
+        # Unique per-invocation temp files + atomic replace: parallel
+        # builders of one source must never corrupt each other.
+        import ctypes
+        import threading
+
+        cache = BuildCache(tmp_path)
+        src = "double g(double x) { return x + 7.0; }\n"
+        paths, errors = [], []
+
+        def build():
+            try:
+                paths.append(build_shared(src, cache=cache))
+            except Exception as error:  # noqa: BLE001 - collected for assert
+                errors.append(error)
+
+        threads = [threading.Thread(target=build) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(set(paths)) == 1
+        lib = ctypes.CDLL(str(paths[0]))
+        lib.g.restype = ctypes.c_double
+        lib.g.argtypes = [ctypes.c_double]
+        assert lib.g(1.0) == 8.0
+
+    def test_default_cache_is_shared_and_content_addressed(self):
+        # No explicit cache: builds land in the process-wide ephemeral
+        # cache (cleaned at exit) instead of leaking a mkdtemp per call.
+        from repro.exec.builder import shared_build_cache
+
+        src = "double h(double x) { return x - 3.0; }\n"
+        first = build_shared(src)
+        second = build_shared(src)
+        assert first == second
+        assert shared_build_cache().root in first.parents
+
+
+# --- the Python backend --------------------------------------------------------------
+
+
+class TestPythonBackend:
+    def test_executes_emitted_source(self, c99):
+        src = "import math\n\ndef f(x):\n    return math.sqrt(x) + 1\n"
+        fn = compile_python_function(src, "f", target=c99)
+        assert fn(4.0) == 3.0
+
+    def test_sandbox_has_no_import_or_open(self):
+        fn = compile_python_function(
+            "def f(x):\n    return __import__('os').getpid()", "f"
+        )
+        with pytest.raises(NameError):
+            fn(1.0)
+        fn2 = compile_python_function(
+            "def f(x):\n    return open('/etc/passwd')", "f"
+        )
+        with pytest.raises(NameError):
+            fn2(1.0)
+
+    def test_missing_function_is_an_error(self):
+        with pytest.raises(PythonExecError):
+            compile_python_function("x = 1\n", "f")
+
+    def test_broken_source_is_an_error(self):
+        with pytest.raises(PythonExecError):
+            compile_python_function("def f(:\n", "f")
+
+    def test_cast_precision_survives_the_python_backend(self, c99):
+        # cast.f32 rounds, cast.f64 is the identity: the emitted name must
+        # keep the suffix or both bind to one impl and f32 rounding is
+        # silently dropped (executed would then diverge from the machine).
+        from repro.fpeval.machine import compile_expr
+        from repro.ir.parser import parse_expr
+
+        program = parse_expr(
+            "(cast.f64 (cast.f32 x))", known_ops=set(c99.operators)
+        )
+        core = parse_fpcore(
+            "(FPCore roundtrip (x) x)", known_ops=set(c99.operators)
+        )
+        source = to_python(program, core, c99)
+        assert "math.cast_f32" in source and "math.cast_f64" in source
+        executable = executable_for(program, core, c99, backend="python")
+        machine = compile_expr(program, c99.impl_registry(), core.precision)
+        for x in (1.0000000001, 1.5, 3.141592653589793, 1e-40):
+            assert executable.run_point({"x": x}) == machine({"x": x})
+        # And the rounding really happens (the old collapsed binding
+        # returned x unchanged).
+        assert executable.run_point({"x": 1.0000000001}) == 1.0
+
+    def test_mathlink_resolves_math_first_then_target_impls(self, julia):
+        link = MathLink(julia)
+        assert link.sin is math.sin  # real math module wins
+        # sind exists only in the Julia target's registry.
+        assert abs(link.sind(90.0) - 1.0) < 1e-12
+        with pytest.raises(AttributeError):
+            link.definitely_not_an_operator
+
+
+# --- capability metadata (satellite) -------------------------------------------------
+
+
+class TestBackendAvailability:
+    def test_c_target_capabilities(self, c99):
+        caps = backend_availability(c99)
+        assert caps["languages"][0] == "c"
+        assert "python" in caps["languages"] and "fpcore" in caps["languages"]
+        assert caps["backends"]["python"] is True
+        assert caps["backends"]["c"] == HAVE_CC
+
+    def test_python_target_never_claims_c(self, python_target):
+        caps = backend_availability(python_target)
+        assert caps["backends"]["c"] is False
+        assert caps["languages"][0] == "python"
+
+    def test_disabled_compiler_disables_c(self, c99, monkeypatch):
+        monkeypatch.setenv("REPRO_CC", "none")
+        builder._COMPILER_CACHE.clear()
+        assert backend_availability(c99)["backends"]["c"] is False
+        builder._COMPILER_CACHE.clear()
+
+
+# --- emitted-code correctness across targets (satellite) -----------------------------
+
+#: A transcendental + arithmetic mix the whole registry can mostly express.
+AGREEMENT_CORES = ("sqrt-sub", "logistic", "quadratic-mod", "cos-frac")
+
+
+@pytest.fixture(scope="module")
+def agreement_samples():
+    """One small sample set per core (sampling is target-independent)."""
+    samples = {}
+    for name in AGREEMENT_CORES:
+        samples[name] = sample_core(core_named(name), SMALL)
+    return samples
+
+
+@pytest.mark.parametrize("target_name", TARGET_NAMES)
+@pytest.mark.parametrize("core_name", AGREEMENT_CORES)
+def test_emitted_python_agrees_with_machine(
+    target_name, core_name, agreement_samples
+):
+    """For every builtin target: emit Python, execute it, and match the
+    fpeval machine's scoring of the same program at the sampled points."""
+    target = get_target(target_name)
+    core = core_named(core_name)
+    try:
+        program = transcribe(core.body, target, core.precision)
+    except Untranscribable:
+        pytest.skip(f"{core_name} not transcribable for {target_name}")
+    report = validate_program(
+        program, core, target, agreement_samples[core_name], backend="python"
+    )
+    assert report.backend == "python"
+    assert report.agreement_bits <= 0.5, report.as_dict()
+
+
+@needs_cc
+@pytest.mark.parametrize("core_name", AGREEMENT_CORES)
+def test_emitted_c_agrees_with_machine(core_name, agreement_samples, tmp_path):
+    """The C variant: compile emitted C with the system compiler and match
+    the machine bit-for-bit-ish (within the mismatch threshold)."""
+    target = get_target("c99")
+    core = core_named(core_name)
+    program = transcribe(core.body, target, core.precision)
+    report = validate_program(
+        program, core, target, agreement_samples[core_name],
+        backend="c", build_cache=BuildCache(tmp_path),
+    )
+    assert report.backend == "c" and report.language == "c"
+    assert report.agreement_bits <= 0.5, report.as_dict()
+
+
+def test_vdt_fast_ops_degrade_to_python(agreement_samples):
+    """A target emitting C with non-libm symbols (fast_exp) must degrade
+    to the Python backend in auto mode — and say so."""
+    vdt = get_target("vdt")
+    core = parse_fpcore(
+        "(FPCore vexp (x) :pre (< 0.1 x 4) (exp (* x x)))",
+        known_ops=set(vdt.operators),
+    )
+    samples = sample_core(core, SMALL)
+    # Force a program that uses a vdt-only operator.
+    fast_exp = vdt.operators.get("fast_exp.f64")
+    if fast_exp is None:
+        pytest.skip("vdt target has no fast_exp.f64")
+    from repro.ir.expr import App, Var
+
+    program = App("fast_exp.f64", (App("mul.f64", (Var("x"), Var("x"))),))
+    report = validate_program(program, core, vdt, samples, backend="auto")
+    if HAVE_CC:
+        assert report.backend == "python"
+        assert "Python backend" in report.note
+    else:
+        assert report.backend == "python"

@@ -1,0 +1,366 @@
+"""Tests for the empirical validation stack above the backends: session
+``execute``/``validate`` (with caching), timing, calibration, the ``repro
+run`` / ``repro validate`` CLI commands, ``repro targets --json``
+capability metadata, and the serve ``/validate`` endpoint.
+
+Everything here must pass both with and without a system C compiler (CI
+runs both legs); C-specific assertions are conditioned on discovery.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.accuracy.sampler import SampleConfig
+from repro.api import ChassisSession, CompileConfig, create_server
+from repro.benchsuite import suite
+from repro.cli import main
+from repro.exec import (
+    CalibrationPoint,
+    affine_fit,
+    c_backend_available,
+    calibrate,
+    collect_calibration,
+    measure_executable,
+)
+from repro.ir.fpcore import parse_fpcore
+
+HAVE_CC = c_backend_available()
+
+FAST = CompileConfig(iterations=1, localize_points=6, max_variants=12)
+SAMPLES = SampleConfig(n_train=8, n_test=8)
+SRC = "(FPCore f (x) :pre (< 0.1 x 10) (- (sqrt (+ x 1)) (sqrt x)))"
+
+
+@pytest.fixture(scope="module")
+def session(tmp_path_factory):
+    session = ChassisSession(
+        config=FAST,
+        sample_config=SAMPLES,
+        cache=str(tmp_path_factory.mktemp("exec-cache")),
+    )
+    yield session
+    session.close()
+
+
+# --- session integration -------------------------------------------------------------
+
+
+class TestSessionExecute:
+    def test_execute_runs_emitted_code_over_test_points(self, session):
+        run = session.execute(SRC, "c99")
+        assert len(run.outputs) == 8
+        assert all(isinstance(v, float) for v in run.outputs)
+        assert run.backend == ("c" if HAVE_CC else "python")
+        assert session.stats.executions >= 1
+
+    def test_execute_explicit_program(self, session):
+        run = session.execute(SRC, "c99", program="(add.f64 x 1)")
+        samples = session.samples_for(session.parse(SRC))
+        expected = [point["x"] + 1.0 for point in samples.test]
+        assert run.outputs == expected
+
+    def test_validate_agrees_and_is_cached(self, session):
+        before = session.stats.validations
+        report = session.validate(SRC, "c99")
+        assert report.agreement_bits <= 0.5
+        assert report.ok
+        assert session.stats.validations == before + 1
+        hits_before = session.stats.validation_hits
+        again = session.validate(SRC, "c99")
+        assert again is report  # served from the session's report LRU
+        assert session.stats.validation_hits == hits_before + 1
+
+    def test_validate_python_backend_forced(self, session):
+        report = session.validate(SRC, "c99", backend="python")
+        assert report.backend == "python"
+        assert report.agreement_bits <= 0.5
+
+    def test_build_cache_lives_next_to_compile_cache(self, session):
+        if not HAVE_CC:
+            pytest.skip("no C compiler on PATH")
+        session.execute(SRC, "c99")  # ensures at least one build happened
+        build_root = session.build_cache().root
+        assert build_root == session.cache.root / "builds"
+        assert len(session.build_cache()) >= 1
+
+    def test_executable_lru_reuses_loaded_code(self, session):
+        first = session.executable(SRC, "c99", program="(add.f64 x 1)")
+        second = session.executable(SRC, "c99", program="(add.f64 x 1)")
+        assert first is second
+
+
+def test_validate_dispatches_compiles_through_worker_pool():
+    """With ``jobs >= 2`` the compilation feeding a validation runs on the
+    session's persistent worker pool (real process-level parallelism for
+    concurrent ``/validate`` requests), not inline."""
+    with ChassisSession(config=FAST, sample_config=SAMPLES, jobs=2) as session:
+        report = session.validate(SRC, "c99")
+        assert report.agreement_bits <= 0.5
+        pool = session.worker_pool()
+        assert pool is not None and pool.generation >= 1
+
+
+def test_validate_agreement_across_benchsuite_cores():
+    """The acceptance bar: for >= 10 benchsuite cores, the empirically
+    executed best output scores within 0.5 bits of the machine score."""
+    with ChassisSession(config=FAST, sample_config=SAMPLES) as session:
+        validated = 0
+        for core in suite(max_benchmarks=12):
+            try:
+                report = session.validate(core, "c99")
+            except Exception:
+                continue  # infeasible pair: the removal protocol
+            assert report.agreement_bits <= 0.5, report.as_dict()
+            if HAVE_CC:
+                assert report.backend == "c"
+            validated += 1
+        assert validated >= 10
+
+
+# --- timing --------------------------------------------------------------------------
+
+
+class TestTiming:
+    def test_measure_reports_positive_cost(self, session):
+        executable = session.executable(SRC, "c99", program="(add.f64 x 1)")
+        samples = session.samples_for(session.parse(SRC))
+        report = measure_executable(executable, samples.test, repeats=3)
+        assert report.repeats == 3
+        assert len(report.per_repeat_ns) == 3
+        assert report.median_ns > 0
+        assert report.min_ns <= report.median_ns <= report.mean_ns * 3
+        payload = report.as_dict()
+        assert payload["n_points"] == len(samples.test)
+        assert payload["inner"] >= 1
+
+    def test_measure_requires_points(self, session):
+        executable = session.executable(SRC, "c99", program="(add.f64 x 1)")
+        with pytest.raises(ValueError):
+            measure_executable(executable, [])
+
+
+# --- calibration ---------------------------------------------------------------------
+
+
+class TestCalibration:
+    def test_affine_fit_recovers_known_line(self):
+        xs = [1.0, 2.0, 3.0, 4.0]
+        ys = [2.0 * x + 5.0 for x in xs]
+        scale, offset = affine_fit(xs, ys)
+        assert abs(scale - 2.0) < 1e-9 and abs(offset - 5.0) < 1e-9
+
+    def test_reports_serialize_to_strict_json(self):
+        # Executed values are routinely NaN (the run guard totalizes
+        # emitted-code exceptions); the wire format must stay RFC 8259.
+        from repro.exec.executable import ExecutionRun
+        from repro.exec.validate import PointMismatch
+
+        mismatch = PointMismatch(
+            index=0, point={"x": 1.0}, exact=1.0,
+            executed=float("nan"), machine=float("inf"),
+            ulps=1 << 62, executed_bits=64.0, machine_bits=64.0,
+        )
+        text = json.dumps(mismatch.as_dict())
+        assert "NaN" not in text and "Infinity" not in text
+        assert json.loads(text)["executed"] == "nan"
+        run = ExecutionRun(
+            "b", "c99", "python", "python", "f", [float("nan"), 1.0]
+        )
+        text = json.dumps(run.as_dict())
+        assert "NaN" not in text
+        assert json.loads(text)["outputs"] == ["nan", 1.0]
+
+    def test_calibrate_report_shape_and_roundtrip(self):
+        points = [
+            CalibrationPoint("b1", "(add.f64 x 1)", 10.0, 25.0, ("add.f64",)),
+            CalibrationPoint("b2", "(mul.f64 x x)", 20.0, 45.0, ("mul.f64",)),
+            CalibrationPoint(
+                "b3", "(sqrt.f64 x)", 30.0, 66.0, ("sqrt.f64",)
+            ),
+        ]
+        report = calibrate(points, "c99", "c")
+        assert report.n_programs == 3
+        assert report.correlation > 0.99
+        assert set(report.operator_residuals) == {
+            "add.f64", "mul.f64", "sqrt.f64"
+        }
+        # rescale() maps predictions onto the measured scale.
+        assert abs(report.rescale(20.0) - 45.0) < 2.0
+        payload = json.loads(json.dumps(report.as_dict()))
+        assert payload["target"] == "c99" and len(payload["points"]) == 3
+
+    def test_collect_calibration_end_to_end(self, session):
+        core = parse_fpcore(SRC)
+        report = collect_calibration(
+            session, [core], "c99", repeats=2, programs_per_core=1
+        )
+        assert report.target == "c99"
+        assert report.n_programs >= 1
+        assert all(p.measured_ns > 0 for p in report.points)
+        assert all(p.predicted_ns > 0 for p in report.points)
+
+
+# --- CLI -----------------------------------------------------------------------------
+
+
+class TestCli:
+    ARGS = ["--points", "8", "--iterations", "1"]
+
+    def test_validate_command(self, capsys, tmp_path):
+        status = main(
+            ["validate", "--target", "c99", "--cache-dir", str(tmp_path)]
+            + self.ARGS + ["sqrt-sub"]
+        )
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "agree" in out
+        backend = "c" if HAVE_CC else "python"
+        assert f"[{backend} backend]" in out
+        if not HAVE_CC:
+            assert "no C compiler" in out
+
+    def test_validate_json(self, capsys):
+        status = main(
+            ["validate", "--target", "c99", "--json"] + self.ARGS + ["sqrt-sub"]
+        )
+        assert status == 0
+        row = json.loads(capsys.readouterr().out)
+        assert row["benchmark"] == "sqrt-sub"
+        assert row["agreement_bits"] <= 0.5
+        assert row["ok"] is True
+
+    def test_run_command(self, capsys):
+        status = main(
+            ["run", "--target", "c99", "--show", "2"] + self.ARGS + ["sqrt-sub"]
+        )
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "executed sqrt_sub" in out
+        assert "exact" in out
+
+    def test_run_python_backend_forced(self, capsys):
+        status = main(
+            ["run", "--target", "c99", "--backend", "python"]
+            + self.ARGS + ["sqrt-sub"]
+        )
+        assert status == 0
+        assert "[python backend]" in capsys.readouterr().out
+
+    def test_targets_json_capabilities(self, capsys):
+        assert main(["targets", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        by_name = {row["name"]: row for row in payload["targets"]}
+        assert by_name["c99"]["capabilities"]["backends"]["c"] == HAVE_CC
+        assert by_name["python"]["capabilities"]["backends"]["c"] is False
+        assert by_name["python"]["capabilities"]["backends"]["python"] is True
+        assert by_name["julia"]["capabilities"]["languages"][0] == "julia"
+
+    def test_unknown_benchmark_fails_cleanly(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["validate", "--target", "c99", "no-such-benchmark-xyz"])
+
+
+# --- the /validate endpoint ----------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def validate_server(tmp_path_factory):
+    session = ChassisSession(
+        config=FAST,
+        sample_config=SAMPLES,
+        cache=str(tmp_path_factory.mktemp("serve-validate-cache")),
+    )
+    server = create_server(session)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}"
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=10)
+
+
+def _post(url, obj):
+    request = urllib.request.Request(
+        url, data=json.dumps(obj).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=300) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestValidateEndpoint:
+    def test_validate_roundtrip(self, validate_server):
+        status, payload = _post(
+            validate_server + "/validate", {"core": SRC, "target": "c99"}
+        )
+        assert status == 200
+        assert payload["status"] == "ok"
+        report = payload["report"]
+        assert report["agreement_bits"] <= 0.5
+        assert report["backend"] == ("c" if HAVE_CC else "python")
+        assert report["n_points"] == 8
+        if not HAVE_CC:
+            assert "no C compiler" in report["note"]
+
+    def test_validate_explicit_program_and_backend(self, validate_server):
+        status, payload = _post(
+            validate_server + "/validate",
+            {
+                "core": SRC,
+                "target": "c99",
+                "program": "(add.f64 x 1)",
+                "backend": "python",
+            },
+        )
+        assert status == 200
+        assert payload["report"]["backend"] == "python"
+
+    def test_bad_backend_is_a_400(self, validate_server):
+        status, payload = _post(
+            validate_server + "/validate",
+            {"core": SRC, "target": "c99", "backend": "fortran"},
+        )
+        assert status == 400
+        assert "backend" in payload["error"]
+
+    def test_bad_program_is_a_400(self, validate_server):
+        status, payload = _post(
+            validate_server + "/validate",
+            {"core": SRC, "target": "c99", "program": "(((("},
+        )
+        assert status == 400
+
+    def test_infeasible_pair_is_failed_data(self, validate_server):
+        bad = "(FPCore nopoints (x) :pre (and (< 2 x) (< x 1)) x)"
+        status, payload = _post(
+            validate_server + "/validate", {"core": bad, "target": "c99"}
+        )
+        assert status == 200
+        assert payload["status"] == "failed"
+        assert payload["error_type"] == "SamplingError"
+
+    def test_health_reports_validation_stats(self, validate_server):
+        with urllib.request.urlopen(
+            validate_server + "/health", timeout=60
+        ) as response:
+            payload = json.loads(response.read())
+        assert "validations" in payload["stats"]
+
+    def test_targets_endpoint_carries_capabilities(self, validate_server):
+        with urllib.request.urlopen(
+            validate_server + "/targets", timeout=60
+        ) as response:
+            payload = json.loads(response.read())
+        caps = {t["name"]: t["capabilities"] for t in payload["targets"]}
+        assert caps["c99"]["backends"]["python"] is True
+        assert caps["c99"]["backends"]["c"] == HAVE_CC
