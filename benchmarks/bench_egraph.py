@@ -1,0 +1,297 @@
+"""Saturation-throughput benchmark for the e-graph engine (standalone).
+
+Unlike the figure-regeneration harnesses (which are pytest modules), this
+is a plain script so CI can run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_egraph.py [--smoke] [--out PATH]
+
+It measures three engines over the benchsuite sample:
+
+* ``legacy``      — an in-file emulation of the pre-refactor (seed) engine:
+  pattern roots found by scanning *every* e-class, every rule re-matched
+  against the whole graph every iteration, all raw matches (mostly no-op
+  re-applications) instantiated and unioned.  The emulation runs against
+  today's :class:`EGraph`, which now has an O(1) node counter the seed
+  engine lacked, so the legacy numbers here are *flattering* — the real
+  seed engine was slower still.
+* ``v2-full``     — the indexed engine with incremental re-matching
+  disabled (the ``REPRO_EGRAPH_INCREMENTAL=0`` escape-hatch behavior).
+* ``v2-incremental`` — the default engine: iteration 0 matches fully,
+  later iterations re-match only the dirty closure.
+
+Reported throughput is e-nodes added per second of saturation
+(``num_nodes`` delta / wall clock) at one fixed :class:`RunnerLimits`
+(the engine default, or a reduced budget under ``--smoke``).  The script
+also verifies that v2-full and v2-incremental extract *byte-identical*
+variant lists for every benchmark, and times an end-to-end
+``session.compile`` per benchmark (with the improvement loop's saturation
+cache hit counts) so the BENCH trajectory has an engine datapoint.
+
+Results land in ``results/egraph_bench.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.accuracy.sampler import SampleConfig  # noqa: E402
+from repro.core.isel import _rules_for  # noqa: E402
+from repro.core.loop import CompileConfig  # noqa: E402
+from repro.cost.model import TargetCostModel  # noqa: E402
+from repro.egraph import EGraph, RunnerLimits, run_rules  # noqa: E402
+from repro.egraph.ematch import _match, instantiate  # noqa: E402
+from repro.egraph.multi_extract import extract_variants  # noqa: E402
+from repro.egraph.typed_extract import TypedExtractor  # noqa: E402
+from repro.ir.printer import expr_to_sexpr  # noqa: E402
+from repro.session import ChassisSession  # noqa: E402
+from repro.targets import get_target  # noqa: E402
+
+RESULTS = Path(__file__).resolve().parent.parent / "results"
+
+#: Same interleaving as benchmarks/conftest.py's bench_cores fixture.
+SAMPLE = [
+    "slerp-weight", "quadratic-mod", "logsumexp2", "sqrt-sub",
+    "gauss-kernel", "acoth", "ellipse-angle", "logistic",
+]
+
+
+# --- the pre-refactor engine, emulated --------------------------------------------
+
+def _legacy_search(egraph, pattern, limit):
+    """Seed-engine search: App roots by scanning every class's nodes."""
+    from repro.ir.expr import App
+
+    results = []
+    if isinstance(pattern, App):
+        seen = set()
+        for eclass in egraph.classes():
+            hit = any(node[0] == pattern.op for node in eclass.nodes)
+            if not hit:
+                continue
+            canon = egraph.find(eclass.id)
+            if canon in seen:
+                continue
+            seen.add(canon)
+            for subst in _match(egraph, pattern, canon, {}):
+                results.append((canon, subst))
+                if limit is not None and len(results) >= limit:
+                    return results
+    else:
+        seen = set()
+        for eclass in egraph.classes():
+            canon = egraph.find(eclass.id)
+            if canon in seen:
+                continue
+            seen.add(canon)
+            for subst in _match(egraph, pattern, canon, {}):
+                results.append((canon, subst))
+                if limit is not None and len(results) >= limit:
+                    return results
+    return results
+
+
+def legacy_run_rules(egraph, rules, limits):
+    """The seed saturation loop: full re-match + raw (no-op-included) apply."""
+    start = time.monotonic()
+    for iteration in range(limits.max_iterations):
+        version_before = egraph.version
+        nodes_before = egraph.num_nodes
+        batches = []
+        for rule in rules:
+            matches = _legacy_search(
+                egraph, rule.lhs, limits.max_matches_per_rule
+            )
+            if matches:
+                batches.append((rule, matches))
+            if time.monotonic() - start > limits.time_limit:
+                egraph.rebuild()
+                return "time-limit"
+        for rule, matches in batches:
+            for class_id, subst in matches:
+                if egraph.num_nodes >= limits.max_nodes:
+                    break
+                if rule.condition is not None and not rule.condition(egraph, subst):
+                    continue
+                new_id = instantiate(egraph, rule.rhs, subst)
+                egraph.union(egraph.find(class_id), new_id)
+        egraph.rebuild()
+        if egraph.num_nodes >= limits.max_nodes:
+            return "node-limit"
+        if egraph.version == version_before and egraph.num_nodes == nodes_before:
+            return "saturated"
+        if time.monotonic() - start > limits.time_limit:
+            return "time-limit"
+    return "iteration-limit"
+
+
+# --- measurement ------------------------------------------------------------------
+
+def saturate(engine, expr, rules, limits):
+    """One saturation run; returns (nodes added, elapsed, stop reason)."""
+    egraph = EGraph()
+    root = egraph.add_expr(expr)
+    base = egraph.num_nodes
+    start = time.monotonic()
+    if engine == "legacy":
+        stop = legacy_run_rules(egraph, rules, limits)
+    else:
+        report = run_rules(
+            egraph, rules, limits, incremental=(engine == "v2-incremental")
+        )
+        stop = report.stop_reason
+    elapsed = time.monotonic() - start
+    return egraph, root, egraph.num_nodes - base, elapsed, stop
+
+
+def variants_of(egraph, root, target, expr, ty):
+    model = TargetCostModel(target)
+    var_types = {name: ty for name in expr.free_vars()}
+    extractor = TypedExtractor(egraph, model, var_types)
+    return [
+        expr_to_sexpr(v)
+        for v in extract_variants(egraph, extractor, root, ty, limit=40)
+    ]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny budget for CI (2 benchmarks, small limits)")
+    parser.add_argument("--target", default="c99")
+    parser.add_argument("--out", default=str(RESULTS / "egraph_bench.json"))
+    args = parser.parse_args(argv)
+
+    target = get_target(args.target)
+    rules = _rules_for(target)
+    if args.smoke:
+        names = SAMPLE[:2]
+        limits = RunnerLimits(
+            max_iterations=4, max_nodes=800, max_matches_per_rule=150,
+            time_limit=5.0,
+        )
+        points, iterations = 8, 1
+    else:
+        names = SAMPLE
+        limits = RunnerLimits()  # the engine default: the acceptance budget
+        points, iterations = 16, 1
+
+    from repro.benchsuite import core_named
+
+    cores = [core_named(name) for name in names]
+    engines = ("legacy", "v2-full", "v2-incremental")
+    rows = []
+    totals = {engine: [0, 0.0] for engine in engines}  # nodes, seconds
+    equivalent = True
+
+    for core in cores:
+        expr = core.body
+        row = {"benchmark": core.name, "engines": {}}
+        variant_sets = {}
+        for engine in engines:
+            egraph, root, nodes, elapsed, stop = saturate(
+                engine, expr, rules, limits
+            )
+            totals[engine][0] += nodes
+            totals[engine][1] += elapsed
+            row["engines"][engine] = {
+                "nodes": nodes,
+                "seconds": round(elapsed, 4),
+                "nodes_per_sec": round(nodes / elapsed, 1) if elapsed else None,
+                "stop": stop,
+            }
+            if engine != "legacy":
+                variant_sets[engine] = variants_of(
+                    egraph, root, target, expr, core.precision
+                )
+        same = variant_sets["v2-full"] == variant_sets["v2-incremental"]
+        equivalent = equivalent and same
+        row["full_vs_incremental_identical"] = same
+        rows.append(row)
+        print(f"{core.name}: " + "  ".join(
+            f"{engine}={row['engines'][engine]['nodes_per_sec']:.0f}n/s"
+            for engine in engines
+        ) + ("" if same else "  [MISMATCH]"))
+
+    summary = {}
+    legacy_rate = totals["legacy"][0] / totals["legacy"][1]
+    for engine in engines:
+        nodes, seconds = totals[engine]
+        rate = nodes / seconds if seconds else 0.0
+        summary[engine] = {
+            "nodes": nodes,
+            "seconds": round(seconds, 3),
+            "nodes_per_sec": round(rate, 1),
+            "speedup_vs_legacy": round(rate / legacy_rate, 2),
+        }
+
+    # End-to-end: one warm-session compile per benchmark (v2 engine),
+    # recording the loop's saturation-cache effectiveness.
+    e2e = []
+    with ChassisSession(
+        config=CompileConfig(iterations=iterations, localize_points=8),
+        sample_config=SampleConfig(n_train=points, n_test=points),
+    ) as session:
+        for core in cores:
+            before = session.stats.engine.as_dict()
+            start = time.monotonic()
+            try:
+                result = session.compile(core, target)
+                status = "ok"
+                frontier = len(result.frontier)
+            except Exception as error:  # keep the bench running per-core
+                status, frontier = f"failed: {type(error).__name__}", 0
+            after = session.stats.engine.as_dict()
+            e2e.append({
+                "benchmark": core.name,
+                "status": status,
+                "seconds": round(time.monotonic() - start, 3),
+                "frontier": frontier,
+                "saturation_hits": (
+                    after["saturation_hits"] - before["saturation_hits"]
+                ),
+                "saturation_misses": (
+                    after["saturation_misses"] - before["saturation_misses"]
+                ),
+            })
+
+    payload = {
+        "mode": "smoke" if args.smoke else "full",
+        "target": target.name,
+        "limits": {
+            "max_iterations": limits.max_iterations,
+            "max_nodes": limits.max_nodes,
+            "max_matches_per_rule": limits.max_matches_per_rule,
+            "time_limit": limits.time_limit,
+        },
+        "benchmarks": rows,
+        "summary": summary,
+        "full_vs_incremental_identical": equivalent,
+        "compile_e2e": e2e,
+    }
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    v2 = summary["v2-incremental"]
+    print(
+        f"\nsummary: legacy {summary['legacy']['nodes_per_sec']:.0f} n/s, "
+        f"v2-full {summary['v2-full']['nodes_per_sec']:.0f} n/s "
+        f"({summary['v2-full']['speedup_vs_legacy']}x), "
+        f"v2-incremental {v2['nodes_per_sec']:.0f} n/s "
+        f"({v2['speedup_vs_legacy']}x)"
+    )
+    print(f"full-vs-incremental byte-identical: {equivalent}")
+    print(f"wrote {out}")
+    if not equivalent:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

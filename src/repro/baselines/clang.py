@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from fractions import Fraction
 
 from ..egraph.egraph import EGraph
+from ..egraph.extract import ExtractionError
 from ..egraph.runner import RunnerLimits, run_rules
 from ..egraph.typed_extract import TypedExtractor
 from ..cost.model import TargetCostModel
@@ -157,7 +158,7 @@ def _fast_math_minimize(program: Expr, target: Target, ty: str, var_types) -> Ex
     extractor = TypedExtractor(egraph, TargetCostModel(target), var_types)
     try:
         return extractor.extract(root, ty)
-    except KeyError:
+    except ExtractionError:
         return program
 
 

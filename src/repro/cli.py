@@ -117,6 +117,7 @@ def _cmd_compile(args) -> int:
     for core in _read_cores(args.input):
         label = core.name or core.properties.get("name", "<anonymous>")
         start = time.monotonic()
+        engine_before = session.stats.engine.as_dict()
         try:
             result = session.compile(core, target)
         except Exception as error:  # surface per-core failures, keep going
@@ -130,13 +131,22 @@ def _cmd_compile(args) -> int:
             status = 1
             continue
         if args.json:
+            from .egraph.stats import stats_delta
             from .service.results import result_to_dict
 
             # The same deterministic row shape the batch report writer emits
-            # (joinable on "benchmark"/"target", no timings or bulky fields).
-            print(json.dumps(job_row(
+            # (joinable on "benchmark"/"target", no timings or bulky
+            # fields), plus this job's engine-counter delta — e-nodes
+            # built, incremental re-match savings, saturation-cache hits
+            # and per-rule match-budget truncations (`rules_truncated`),
+            # the observability hook for tuning node/match budgets.
+            row = job_row(
                 label, target.name, "ok", payload=result_to_dict(result)
-            )))
+            )
+            row["engine"] = stats_delta(
+                session.stats.engine.as_dict(), engine_before
+            )
+            print(json.dumps(row))
             continue
         elapsed = time.monotonic() - start
         print(f"{label} on {target.name} ({elapsed:.1f}s):")

@@ -5,13 +5,25 @@ saturate it with mathematical identities *plus* the target's desugar/lower
 rules — producing mixed real/float e-classes whose equivalence relation is
 "equal as real numbers" — then multi-extract well-typed float variants with
 the typed extractor.
+
+Saturation dominates the improvement loop's cost, and the loop asks for
+variants of the *same* subexpression many times (candidates share subtrees,
+and localization re-nominates hot paths across iterations).  A
+:class:`SaturationCache` therefore memoizes saturated e-graphs per
+(subexpression, ruleset, limits) within one loop run — extraction is cheap
+against a cached graph, and re-extraction for a different requested format
+reuses the cached typed extractor outright.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
 from ..egraph.egraph import EGraph
 from ..egraph.multi_extract import extract_variants
-from ..egraph.runner import RunnerLimits, run_rules
+from ..egraph.runner import RunnerLimits, RunnerReport, run_rules
+from ..egraph.stats import current_sink
 from ..egraph.typed_extract import TypedExtractor
 from ..ir.expr import Expr
 from ..ir.types import F64
@@ -46,6 +58,77 @@ def _rules_for(target: Target) -> list:
     return rules
 
 
+@dataclass
+class _SaturatedEntry:
+    """One memoized saturation: the graph, its root, and warm extractors."""
+
+    egraph: EGraph
+    root: int
+    report: RunnerReport
+    #: frozen var_types -> TypedExtractor (reused while the graph's
+    #: generation is unchanged, which it always is — extraction never
+    #: mutates the graph).
+    extractors: dict[tuple, TypedExtractor] = field(default_factory=dict)
+
+
+class SaturationCache:
+    """Saturated e-graphs memoized per (subexpression, target, limits).
+
+    Owned by one :class:`~repro.core.loop.ImprovementLoop` run (the ruleset
+    is a function of the target there, so the target name keys the ruleset
+    too).  Entries are LRU-bounded: each holds an e-graph of up to
+    ``limits.max_nodes`` nodes.  Saturation results are deterministic in
+    the inputs (modulo the wall-clock ``time_limit``, which pre-cache
+    behavior was equally subject to), so a hit is equivalent to re-running
+    the rules — minus the entire saturation cost.
+    """
+
+    def __init__(self, max_entries: int = 64):
+        self.max_entries = max_entries
+        self._entries: OrderedDict[tuple, _SaturatedEntry] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def saturated(
+        self, subexpr: Expr, target: Target, limits: RunnerLimits
+    ) -> _SaturatedEntry:
+        """The saturated e-graph for ``subexpr`` (cached or fresh)."""
+        key = (subexpr, target.name, limits.key())
+        entry = self._entries.get(key)
+        sink = current_sink()
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            if sink is not None:
+                sink.saturation_hits += 1
+            return entry
+        self.misses += 1
+        if sink is not None:
+            sink.saturation_misses += 1
+        egraph = EGraph()
+        root = egraph.add_expr(subexpr)
+        report = run_rules(egraph, _rules_for(target), limits)
+        entry = _SaturatedEntry(egraph=egraph, root=root, report=report)
+        self._entries[key] = entry
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return entry
+
+    def extractor(
+        self,
+        entry: _SaturatedEntry,
+        model: TargetCostModel,
+        var_types: dict[str, str],
+    ) -> TypedExtractor:
+        """A typed extractor over a cached graph, itself cached."""
+        key = tuple(sorted(var_types.items()))
+        extractor = entry.extractors.get(key)
+        if extractor is None:
+            extractor = TypedExtractor(entry.egraph, model, var_types)
+            entry.extractors[key] = extractor
+        return extractor
+
+
 def instruction_select(
     subexpr: Expr,
     target: Target,
@@ -53,19 +136,27 @@ def instruction_select(
     var_types: dict[str, str] | None = None,
     limits: RunnerLimits = DEFAULT_ISEL_LIMITS,
     max_variants: int = 40,
+    cache: SaturationCache | None = None,
 ) -> list[Expr]:
     """Generate well-typed float variants of ``subexpr`` on ``target``.
 
     ``subexpr`` may be a float program, a real expression, or mixed; the
     desugaring rules connect all three views inside one e-graph.  Returns
     candidate programs of format ``ty``, cheapest-first, including at least
-    the input itself when it is already well-typed.
+    the input itself when it is already well-typed.  ``cache`` (when given)
+    memoizes the saturated e-graph and typed extractor across calls, so
+    repeated selections of one subexpression only pay for extraction.
     """
     var_types = var_types or {name: ty for name in subexpr.free_vars()}
+    model = TargetCostModel(target)
+    if cache is not None:
+        entry = cache.saturated(subexpr, target, limits)
+        extractor = cache.extractor(entry, model, var_types)
+        return extract_variants(
+            entry.egraph, extractor, entry.root, ty, limit=max_variants
+        )
     egraph = EGraph()
     root = egraph.add_expr(subexpr)
     run_rules(egraph, _rules_for(target), limits)
-
-    model = TargetCostModel(target)
     extractor = TypedExtractor(egraph, model, var_types)
     return extract_variants(egraph, extractor, root, ty, limit=max_variants)

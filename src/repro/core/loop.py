@@ -24,7 +24,7 @@ from ..rival.eval import RivalEvaluator
 from ..targets.target import Target
 from ..deadline import check_deadline
 from .candidates import Candidate, ParetoFrontier
-from .isel import DEFAULT_ISEL_LIMITS, instruction_select
+from .isel import DEFAULT_ISEL_LIMITS, SaturationCache, instruction_select
 from .regimes import infer_regimes
 from .series import series_candidates
 from .transcribe import transcribe, transcribe_with_poly
@@ -76,6 +76,15 @@ class ImprovementLoop:
         self.ty = core.precision
         self.var_types = dict(core.arg_types)
         self._expanded: set[Expr] = set()
+        # Saturated e-graphs shared across this run's candidates: the many
+        # programs sharing subtrees (and re-nominated hot paths across
+        # iterations) saturate each distinct subexpression once.
+        self._saturations = SaturationCache()
+
+    @property
+    def saturation_hits(self) -> int:
+        """Candidate expansions answered from the saturation cache."""
+        return self._saturations.hits
 
     # --- scoring -------------------------------------------------------------------
 
@@ -141,6 +150,7 @@ class ImprovementLoop:
             var_types=self.var_types,
             limits=self.config.isel_limits,
             max_variants=self.config.max_variants,
+            cache=self._saturations,
         )
         if self.config.enable_series:
             real = self.target.desugar_expr(subexpr)

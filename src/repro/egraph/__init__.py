@@ -1,19 +1,42 @@
 """E-graph engine: equality saturation, typed and multi extraction."""
 
-from .egraph import EClass, EGraph
-from .ematch import ematch_class, instantiate, search_pattern
-from .extract import Extractor, ast_size_cost, extract_best, real_only_cost
+from .egraph import EClass, EGraph, GraphSnapshot
+from .ematch import (
+    ematch_class,
+    instantiate,
+    lookup_template,
+    match_is_applied,
+    search_pattern,
+)
+from .extract import (
+    ExtractionError,
+    Extractor,
+    ast_size_cost,
+    extract_best,
+    real_only_cost,
+)
 from .multi_extract import extract_variants
 from .rewrite import Rewrite, birw, rw
-from .runner import BackoffScheduler, RunnerLimits, RunnerReport, run_rules
+from .runner import (
+    INCREMENTAL_ENV,
+    BackoffScheduler,
+    RunnerLimits,
+    RunnerReport,
+    run_rules,
+)
+from .stats import EngineStats, current_sink, engine_stats_sink, stats_delta
 from .typed_extract import TypedCostModel, TypedExtractor
 from .unionfind import UnionFind
 
 __all__ = [
-    "EClass", "EGraph", "UnionFind",
+    "EClass", "EGraph", "GraphSnapshot", "UnionFind",
     "ematch_class", "search_pattern", "instantiate",
+    "lookup_template", "match_is_applied",
     "Rewrite", "rw", "birw",
     "RunnerLimits", "RunnerReport", "run_rules", "BackoffScheduler",
+    "INCREMENTAL_ENV",
     "Extractor", "extract_best", "ast_size_cost", "real_only_cost",
+    "ExtractionError",
     "TypedExtractor", "TypedCostModel", "extract_variants",
+    "EngineStats", "engine_stats_sink", "current_sink", "stats_delta",
 ]

@@ -4,6 +4,16 @@ An e-graph maintains a congruence-closed equivalence relation over terms.
 This implementation follows egg [Willsey et al. 2021]: a union-find over
 e-class ids, a hashcons from canonical e-nodes to class ids, and deferred
 *rebuilding* that restores congruence invariants in a batch after rewrites.
+
+Two v2 additions serve the rewrite engine on top:
+
+* a **head index** (head -> classes containing a node with that head),
+  maintained on insertion and compacted lazily on query, so pattern roots
+  resolve to candidate classes directly instead of scanning every class;
+* **dirty tracking** (classes changed since the last
+  :meth:`EGraph.take_dirty`), which the saturation runner closes upward
+  through parent pointers to re-match only the region a rewrite iteration
+  could have changed.
 """
 
 from __future__ import annotations
@@ -11,7 +21,7 @@ from __future__ import annotations
 from typing import Iterable, Iterator
 
 from ..ir.expr import App, Expr
-from .enode import ENode, head_of_expr, head_to_leaf_expr, is_op_head
+from .enode import ENode, Head, head_of_expr, head_to_leaf_expr, is_op_head
 from .unionfind import UnionFind
 
 
@@ -41,6 +51,33 @@ class EGraph:
         self._hashcons: dict[ENode, int] = {}
         self._pending: list[int] = []
         self.version = 0  # bumped on every union; used to detect saturation
+        #: Distinct e-nodes ever created (monotonic; never decremented by
+        #: rebuild dedup, so (version, nodes_built) stamps every mutation).
+        self.nodes_built = 0
+        # Live node count, maintained incrementally (merges and rebuild
+        # dedup subtract) so the node-budget check in the apply loop is
+        # O(1) instead of a sum over every class.
+        self._nnodes = 0
+        # head -> {class id: None}: every class that has ever held a node
+        # with that head.  Ids may go stale after unions; queries
+        # canonicalize and compact lazily.  No removal is ever needed: a
+        # class only gains heads (nodes survive merges, heads survive
+        # re-canonicalization), so the index only over-approximates by
+        # staleness, never misses.
+        self._index: dict[Head, dict[int, None]] = {}
+        # Classes changed since the last take_dirty(): new classes, and
+        # the surviving root of every union.
+        self._dirty: dict[int, None] = {}
+        self._snapshot: "GraphSnapshot | None" = None
+
+    @property
+    def generation(self) -> tuple[int, int]:
+        """A stamp that changes whenever the graph's contents change.
+
+        Extractors key their shared topology snapshots on this, so one
+        snapshot serves every cost function until the next mutation.
+        """
+        return (self.version, self.nodes_built)
 
     # --- size and iteration ------------------------------------------------
 
@@ -50,7 +87,7 @@ class EGraph:
 
     @property
     def num_nodes(self) -> int:
-        return sum(len(c.nodes) for c in self._classes.values())
+        return self._nnodes
 
     def classes(self) -> Iterator[EClass]:
         return iter(list(self._classes.values()))
@@ -88,6 +125,10 @@ class EGraph:
         self._hashcons[node] = class_id
         for arg in node[1]:
             self._classes[arg].parents.append((node, class_id))
+        self.nodes_built += 1
+        self._nnodes += 1
+        self._index.setdefault(node[0], {})[class_id] = None
+        self._dirty[class_id] = None
         return class_id
 
     def add_expr(self, expr: Expr) -> int:
@@ -112,6 +153,11 @@ class EGraph:
         found = self._hashcons.get(self.canonicalize(node))
         return self._uf.find(found) if found is not None else None
 
+    def lookup_node(self, head, args: Iterable[int]) -> int | None:
+        """The e-class holding the (canonicalized) e-node, without inserting."""
+        found = self._hashcons.get(self.canonicalize((head, tuple(args))))
+        return self._uf.find(found) if found is not None else None
+
     # --- merging and rebuilding ------------------------------------------------
 
     def union(self, a: int, b: int) -> int:
@@ -123,9 +169,12 @@ class EGraph:
         root = self._uf.union(ra, rb)
         other = rb if root == ra else ra
         winner, loser = self._classes[root], self._classes.pop(other)
+        before = len(winner.nodes) + len(loser.nodes)
         winner.nodes.update(loser.nodes)
+        self._nnodes -= before - len(winner.nodes)
         winner.parents.extend(loser.parents)
         self._pending.append(root)
+        self._dirty[root] = None
         return root
 
     def rebuild(self) -> None:
@@ -154,7 +203,9 @@ class EGraph:
             self._hashcons[canon] = self._uf.find(class_id)
         class_id = self._uf.find(class_id)
         eclass = self._classes[class_id]
+        before = len(eclass.nodes)
         eclass.nodes = {self.canonicalize(n): None for n in eclass.nodes}
+        self._nnodes -= before - len(eclass.nodes)
         # Repair and deduplicate parent back-references; congruent parents
         # (same canonical node in two classes) are merged.
         seen: dict[ENode, int] = {}
@@ -175,6 +226,49 @@ class EGraph:
             self._hashcons[canon] = self._uf.find(parent_class)
         eclass.parents = [(n, seen[n]) for n in order]
 
+    # --- dirty tracking --------------------------------------------------------
+
+    def take_dirty(self) -> list[int]:
+        """Canonical ids of classes changed since the last call, and reset.
+
+        A class is dirty when it was created or was the surviving root of a
+        union since the previous ``take_dirty``.  Ids are canonicalized and
+        restricted to live classes at collection time.
+        """
+        out: dict[int, None] = {}
+        for class_id in self._dirty:
+            canon = self._uf.find(class_id)
+            if canon in self._classes:
+                out[canon] = None
+        self._dirty.clear()
+        return list(out)
+
+    def dirty_closure(self, dirty: Iterable[int]) -> set[int]:
+        """``dirty`` closed upward through parent pointers (canonical ids).
+
+        Every class whose represented terms could have changed when the
+        given classes changed: the classes themselves plus all transitive
+        ancestors.  This is the sound re-match region for incremental
+        e-matching — a new pattern match must have a changed class
+        somewhere in its support, and parent edges connect every support
+        class to the match's root.
+        """
+        closure: set[int] = set()
+        stack = list(dirty)
+        while stack:
+            class_id = self._uf.find(stack.pop())
+            if class_id in closure:
+                continue
+            closure.add(class_id)
+            eclass = self._classes.get(class_id)
+            if eclass is None:
+                continue
+            for _node, parent in eclass.parents:
+                parent = self._uf.find(parent)
+                if parent not in closure:
+                    stack.append(parent)
+        return closure
+
     # --- queries -----------------------------------------------------------------
 
     def represents(self, class_id: int, expr: Expr) -> bool:
@@ -182,12 +276,47 @@ class EGraph:
         found = self.lookup_expr(expr)
         return found is not None and self.same(found, class_id)
 
+    def classes_with_head(self, head) -> list[int]:
+        """Canonical ids of every class holding a node with ``head``.
+
+        Backed by the head index: O(candidates), not O(classes).  Stale
+        (merged-away) entries are compacted in place on the way through,
+        and insertion order is preserved, so repeated queries are cheap
+        and deterministic.
+        """
+        entry = self._index.get(head)
+        if not entry:
+            return []
+        find = self._uf.find
+        canon: dict[int, None] = {}
+        for class_id in entry:
+            canon[find(class_id)] = None
+        if len(canon) != len(entry):
+            self._index[head] = dict.fromkeys(canon)
+        return list(canon)
+
     def op_nodes(self, op) -> Iterator[tuple[ENode, int]]:
         """Yield ``(enode, class_id)`` for every node whose head equals op."""
-        for eclass in list(self._classes.values()):
+        for class_id in self.classes_with_head(op):
+            eclass = self._classes[class_id]
             for node in list(eclass.nodes):
                 if node[0] == op:
-                    yield node, eclass.id
+                    yield node, class_id
+
+    def snapshot(self) -> "GraphSnapshot":
+        """This graph's topology snapshot at the current generation.
+
+        Cached: extractors for any number of cost functions share one
+        snapshot until the graph mutates, which is what makes re-pricing a
+        saturated e-graph under a second cost model nearly free.
+        """
+        snap = self._snapshot
+        if snap is None or snap.generation != self.generation:
+            snap = self._snapshot = GraphSnapshot(self)
+            _record_snapshot(built=True)
+        else:
+            _record_snapshot(built=False)
+        return snap
 
     def expr_of_node(self, node: ENode, choose) -> Expr:
         """Build an Expr from ``node``, choosing child exprs via ``choose``."""
@@ -195,3 +324,58 @@ class EGraph:
         if is_op_head(head):
             return App(head, tuple(choose(a) for a in args))
         return head_to_leaf_expr(head)
+
+
+class GraphSnapshot:
+    """A canonicalized view of one e-graph generation.
+
+    Both halves of the engine run over this frozen view: **e-matching**
+    resolves a class's nodes by head through :attr:`by_head` (canonical
+    integer ids everywhere, so binding checks are int comparisons with no
+    union-find calls), and **extraction** drives its parents worklist over
+    :attr:`nodes`/:attr:`parents`.  Computing these per search or per
+    extractor repeats thousands of ``find`` calls; snapshotting once per
+    generation lets every rule search of an iteration and every extractor
+    (untyped and typed, any cost function) share the traversal structure.
+    The snapshot never mutates the graph and is invalidated by comparing
+    :attr:`generation` against the live graph's.
+    """
+
+    __slots__ = ("generation", "nodes", "parents", "by_head")
+
+    def __init__(self, egraph: EGraph):
+        self.generation = egraph.generation
+        #: class id -> [(head, canonical args, original node), ...]
+        self.nodes: dict[int, list[tuple[Head, tuple[int, ...], ENode]]] = {}
+        #: class id -> head -> [canonical args, ...] (the matcher's view)
+        self.by_head: dict[int, dict[Head, list[tuple[int, ...]]]] = {}
+        #: class id -> parent class ids (deduplicated, insertion-ordered)
+        self.parents: dict[int, list[int]] = {}
+        find = egraph.find
+        parents: dict[int, dict[int, None]] = {}
+        for eclass in egraph.classes():
+            class_id = find(eclass.id)
+            entries = self.nodes.setdefault(class_id, [])
+            heads = self.by_head.setdefault(class_id, {})
+            for node in eclass.nodes:
+                canon_args = tuple(find(a) for a in node[1])
+                entries.append((node[0], canon_args, node))
+                heads.setdefault(node[0], []).append(canon_args)
+            parents.setdefault(class_id, {})
+        for class_id, entries in self.nodes.items():
+            for _head, args, _node in entries:
+                for arg in args:
+                    parents.setdefault(arg, {})[class_id] = None
+        self.parents = {cid: list(ps) for cid, ps in parents.items()}
+
+
+def _record_snapshot(built: bool) -> None:
+    """Record a snapshot build/reuse in the thread's engine-stats sink."""
+    from .stats import current_sink
+
+    sink = current_sink()
+    if sink is not None:
+        if built:
+            sink.snapshots_built += 1
+        else:
+            sink.snapshot_reuses += 1

@@ -1,14 +1,22 @@
 """Greedy lowest-cost extraction from an e-graph.
 
-This is the classic egg extractor: iterate to a fixpoint of per-class best
-costs, then read the chosen expression back out.  Chassis uses this untyped
-form for *real-number* simplification (e.g. inside the cost-opportunity
-analysis baseline and the Herbie-style simplifier); target-aware extraction
-lives in :mod:`repro.egraph.typed_extract`.
+This is the classic egg extractor, driven by a parents worklist instead of
+whole-graph fixpoint sweeps: each class is re-priced only when one of its
+children improves, so convergence costs O(improvements x parent edges)
+rather than O(classes x sweeps).  Chassis uses this untyped form for
+*real-number* simplification (e.g. inside the cost-opportunity analysis
+baseline and the Herbie-style simplifier); target-aware extraction lives in
+:mod:`repro.egraph.typed_extract`.
+
+Extractors share the e-graph's per-generation
+:class:`~repro.egraph.egraph.GraphSnapshot`, so re-pricing the same
+saturated graph under a second cost function (:meth:`Extractor.reuse`)
+skips all re-canonicalization work.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Callable
 
 from ..ir.expr import Expr
@@ -17,6 +25,30 @@ from .enode import ENode, is_op_head
 
 #: Cost of one e-node given its head and its children's best costs.
 NodeCost = Callable[[object, list[float]], float]
+
+
+class ExtractionError(KeyError):
+    """An e-class has no extractable expression under the active costs.
+
+    Carries the class id and the cost function's name (plus the requested
+    float format for typed extraction) so callers can skip the offending
+    candidate instead of crashing on a bare ``KeyError``.
+    """
+
+    def __init__(self, class_id: int, cost_name: str, ty: str | None = None):
+        self.class_id = class_id
+        self.cost_name = cost_name
+        self.ty = ty
+        message = (
+            f"e-class {class_id} has no extractable expression "
+            f"under cost function {cost_name!r}"
+        )
+        if ty is not None:
+            message += f" at type {ty!r}"
+        super().__init__(message)
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.args[0]
 
 
 def ast_size_cost(head, child_costs: list[float]) -> float:
@@ -30,35 +62,61 @@ class Extractor:
     def __init__(self, egraph: EGraph, node_cost: NodeCost = ast_size_cost):
         self.egraph = egraph
         self.node_cost = node_cost
+        self.cost_name = getattr(node_cost, "__name__", repr(node_cost))
+        self.snapshot = egraph.snapshot()
         self._best: dict[int, tuple[float, ENode]] = {}
         self._run()
 
-    def _run(self) -> None:
-        egraph, best = self.egraph, self._best
-        changed = True
-        while changed:
-            changed = False
-            for eclass in egraph.classes():
-                cid = egraph.find(eclass.id)
-                current = best.get(cid)
-                for node in eclass.nodes:
-                    cost = self._node_cost(node)
-                    if cost is None or cost == float("inf"):
-                        continue
-                    if current is None or cost < current[0]:
-                        current = (cost, node)
-                        best[cid] = current
-                        changed = True
+    def reuse(self, node_cost: NodeCost) -> "Extractor":
+        """A fresh extractor for another cost function on the same graph.
 
-    def _node_cost(self, node: ENode) -> float | None:
-        head, args = node
-        child_costs = []
-        for arg in args:
-            entry = self._best.get(self.egraph.find(arg))
-            if entry is None:
-                return None
-            child_costs.append(entry[0])
-        return self.node_cost(head, child_costs)
+        When the graph has not mutated since this extractor was built, the
+        sibling shares the topology snapshot (the expensive part of
+        re-pricing); otherwise a new snapshot is taken automatically.
+        """
+        return Extractor(self.egraph, node_cost)
+
+    def _run(self) -> None:
+        """Parents-driven worklist to the cost fixpoint.
+
+        Every class is seeded once; a class whose best cost improves pushes
+        its parents, so price information flows leaf-to-root and each class
+        is revisited only when a child actually changed.
+        """
+        best = self._best
+        nodes = self.snapshot.nodes
+        parents = self.snapshot.parents
+        pending = deque(nodes)
+        queued = set(pending)
+        infinity = float("inf")
+        while pending:
+            class_id = pending.popleft()
+            queued.discard(class_id)
+            entry = best.get(class_id)
+            improved = False
+            for head, args, node in nodes[class_id]:
+                child_costs = []
+                feasible = True
+                for arg in args:
+                    child = best.get(arg)
+                    if child is None:
+                        feasible = False
+                        break
+                    child_costs.append(child[0])
+                if not feasible:
+                    continue
+                cost = self.node_cost(head, child_costs)
+                if cost is None or cost == infinity:
+                    continue
+                if entry is None or cost < entry[0]:
+                    entry = (cost, node)
+                    improved = True
+            if improved:
+                best[class_id] = entry
+                for parent in parents.get(class_id, ()):
+                    if parent not in queued:
+                        queued.add(parent)
+                        pending.append(parent)
 
     def cost_of(self, class_id: int) -> float | None:
         """Best cost for the class, or None if nothing is extractable."""
@@ -75,7 +133,7 @@ class Extractor:
             return cached
         entry = self._best.get(class_id)
         if entry is None:
-            raise KeyError(f"e-class {class_id} has no extractable expression")
+            raise ExtractionError(class_id, self.cost_name)
         _cost, node = entry
         expr = self.egraph.expr_of_node(
             node, lambda cid: self._build(self.egraph.find(cid), memo)

@@ -12,6 +12,7 @@ from __future__ import annotations
 from ..ir.expr import Expr
 from .egraph import EGraph
 from .enode import is_op_head
+from .extract import ExtractionError
 from .typed_extract import TypedExtractor
 
 
@@ -51,7 +52,13 @@ def extract_variants(
                 cost += child
             if not feasible:
                 continue
-            expr = extractor.node_to_expr(node, arg_types)
+            try:
+                expr = extractor.node_to_expr(node, arg_types)
+            except ExtractionError:
+                # A child class became unextractable at the needed format
+                # (e.g. every option priced infeasible): skip the
+                # candidate rather than losing the whole variant set.
+                continue
         else:
             entry = extractor.best.get(class_id, {}).get(ty)
             if entry is None or entry[1] != node:

@@ -1,0 +1,130 @@
+"""Engine counters: what the e-graph engine did, aggregated per consumer.
+
+The v2 engine (indexed incremental e-matching, worklist extraction,
+saturation reuse) is observable: every saturation run, snapshot build and
+cache decision records into the *engine-stats sink* armed on the current
+thread, when one is armed.  The session arms a sink around each pipeline
+run and folds the result into :class:`~repro.session.SessionStats`, so
+``/health`` and ``repro compile --json`` report real engine work — e-nodes
+built, matches found/applied, the candidate classes incremental re-matching
+skipped, and saturation-cache hits — without any engine API threading a
+stats object through every call site.
+
+The sink is thread-local (compilations are serialized per thread by the
+session's oracle lock); worker processes aggregate their own engine work
+but do not ship it across the process boundary.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class EngineStats:
+    """Counters over the e-graph engine's work.
+
+    ``searches_full``/``searches_incremental`` count per-rule pattern
+    searches by kind; ``candidates_skipped`` counts root-candidate classes
+    an incremental search never examined (the asymptotic saving over the
+    scan-everything engine).  ``saturation_hits`` counts improvement-loop
+    candidates whose subexpression reused an already-saturated e-graph.
+    """
+
+    #: Distinct e-nodes created during saturation runs.
+    enodes_built: int = 0
+    #: Effective (graph-changing) matches found by rule searches.
+    matches_found: int = 0
+    #: Matches actually applied (post side-condition, within node budget).
+    matches_applied: int = 0
+    #: Per-rule full searches (iteration 0, truncated/banned/conditional rules).
+    searches_full: int = 0
+    #: Per-rule incremental searches restricted to the dirty closure.
+    searches_incremental: int = 0
+    #: Root-candidate classes skipped by incremental re-matching.
+    candidates_skipped: int = 0
+    #: Saturation runs (one per run_rules call).
+    saturations: int = 0
+    #: Improvement-loop saturations answered from the per-run cache.
+    saturation_hits: int = 0
+    #: Improvement-loop saturations that had to run the rules.
+    saturation_misses: int = 0
+    #: Graph topology snapshots built (one per generation that was
+    #: searched or extracted from).
+    snapshots_built: int = 0
+    #: Searches/extractions that reused an existing same-generation
+    #: snapshot (e.g. a second cost function pricing the same graph).
+    snapshot_reuses: int = 0
+    #: Rule name -> iterations whose search was truncated by the match budget.
+    rules_truncated: dict[str, int] = field(default_factory=dict)
+
+    def merge(self, other: "EngineStats") -> None:
+        """Fold ``other``'s counters into this one."""
+        for fld in dataclasses.fields(self):
+            if fld.name == "rules_truncated":
+                for name, count in other.rules_truncated.items():
+                    self.rules_truncated[name] = (
+                        self.rules_truncated.get(name, 0) + count
+                    )
+            else:
+                setattr(
+                    self, fld.name,
+                    getattr(self, fld.name) + getattr(other, fld.name),
+                )
+
+    def any(self) -> bool:
+        """True when at least one counter is non-zero."""
+        return any(
+            getattr(self, fld.name) for fld in dataclasses.fields(self)
+        )
+
+    def as_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+def stats_delta(after: dict, before: dict) -> dict:
+    """``after - before`` over two :meth:`EngineStats.as_dict` snapshots.
+
+    Used by ``repro compile --json`` to attribute engine work to one job
+    out of a session's running totals.
+    """
+    delta: dict = {}
+    for key, value in after.items():
+        if isinstance(value, dict):
+            prior = before.get(key, {})
+            sub = {
+                name: count - prior.get(name, 0)
+                for name, count in value.items()
+                if count - prior.get(name, 0)
+            }
+            delta[key] = sub
+        else:
+            delta[key] = value - before.get(key, 0)
+    return delta
+
+
+_LOCAL = threading.local()
+
+
+def current_sink() -> EngineStats | None:
+    """The engine-stats sink armed on this thread, if any."""
+    return getattr(_LOCAL, "sink", None)
+
+
+@contextmanager
+def engine_stats_sink(stats: EngineStats):
+    """Arm ``stats`` as this thread's engine-stats sink for the region.
+
+    Re-entrant: an inner sink shadows the outer one (the inner region's
+    work is attributed to the inner sink only), and the previous sink is
+    restored on exit.
+    """
+    previous = current_sink()
+    _LOCAL.sink = stats
+    try:
+        yield stats
+    finally:
+        _LOCAL.sink = previous

@@ -17,11 +17,13 @@ target move values between formats like any other operator.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Iterable, Protocol
 
 from ..ir.expr import App, Expr
 from .egraph import EGraph
 from .enode import ENode, head_to_leaf_expr, is_op_head
+from .extract import ExtractionError
 
 
 class TypedCostModel(Protocol):
@@ -66,31 +68,53 @@ class TypedExtractor:
     ):
         self.egraph = egraph
         self.cost_model = cost_model
+        self.cost_name = getattr(
+            cost_model, "name", type(cost_model).__name__
+        )
         self.var_types = dict(var_types)
+        self.snapshot = egraph.snapshot()
         #: best[class][type] = (cost, enode, arg_types)
         self.best: Best = {}
         self._run()
 
-    # --- fixpoint ---------------------------------------------------------------
+    # --- worklist ---------------------------------------------------------------
 
     def _run(self) -> None:
-        egraph = self.egraph
-        changed = True
-        while changed:
-            changed = False
-            for eclass in egraph.classes():
-                cid = egraph.find(eclass.id)
-                table = self.best.setdefault(cid, {})
-                for node in eclass.nodes:
-                    for ty, cost, arg_types in self._node_options(node):
-                        current = table.get(ty)
-                        if current is None or cost < current[0]:
-                            table[ty] = (cost, node, arg_types)
-                            changed = True
+        """Parents-driven worklist over the shared topology snapshot.
 
-    def _node_options(self, node: ENode):
-        """Yield ``(ret_type, total_cost, arg_types)`` choices for a node."""
-        head, args = node
+        The typed analogue of :meth:`repro.egraph.extract.Extractor._run`:
+        a class whose per-type table gains or improves an entry pushes its
+        parents, so each class is re-priced only when a child's table
+        actually changed instead of on every whole-graph sweep.
+        """
+        best = self.best
+        nodes = self.snapshot.nodes
+        parents = self.snapshot.parents
+        pending = deque(nodes)
+        queued = set(pending)
+        while pending:
+            class_id = pending.popleft()
+            queued.discard(class_id)
+            table = best.setdefault(class_id, {})
+            improved = False
+            for head, args, node in nodes[class_id]:
+                for ty, cost, arg_types in self._node_options(head, args):
+                    current = table.get(ty)
+                    if current is None or cost < current[0]:
+                        table[ty] = (cost, node, arg_types)
+                        improved = True
+            if improved:
+                for parent in parents.get(class_id, ()):
+                    if parent not in queued:
+                        queued.add(parent)
+                        pending.append(parent)
+
+    def _node_options(self, head, args: tuple[int, ...]):
+        """Yield ``(ret_type, total_cost, arg_types)`` choices for a node.
+
+        ``args`` are canonical class ids (snapshot form), so child lookups
+        go straight into the best tables without union-find calls.
+        """
         if is_op_head(head):
             signature = self.cost_model.operator_signature(head)
             if signature is None:
@@ -100,7 +124,7 @@ class TypedExtractor:
                 return
             total = self.cost_model.operator_cost(head)
             for arg, arg_ty in zip(args, arg_types):
-                entry = self.best.get(self.egraph.find(arg), {}).get(arg_ty)
+                entry = self.best.get(arg, {}).get(arg_ty)
                 if entry is None:
                     return
                 total += entry[0]
@@ -139,7 +163,7 @@ class TypedExtractor:
             return cached
         entry = self.best.get(class_id, {}).get(ty)
         if entry is None:
-            raise KeyError(f"e-class {class_id} has no program of type {ty}")
+            raise ExtractionError(class_id, self.cost_name, ty=ty)
         _cost, node, arg_types = entry
         expr = self.node_to_expr(node, arg_types, memo)
         memo[key] = expr

@@ -63,6 +63,7 @@ from .core.pipeline import (
 from .core.transcribe import Untranscribable
 from .cost.model import TargetCostModel
 from .deadline import DeadlineExceeded, check_deadline, deadline
+from .egraph.stats import EngineStats, engine_stats_sink
 from .exec.builder import BuildCache
 from .exec.executable import (
     ExecutableProgram,
@@ -108,6 +109,11 @@ class SessionStats:
     executions: int = 0
     validations: int = 0
     validation_hits: int = 0
+    #: E-graph engine counters (e-nodes built, matches found/applied,
+    #: incremental re-match savings, saturation-cache hits), accumulated
+    #: from every in-process pipeline run.  Worker processes keep their
+    #: own totals; these cover inline compiles only.
+    engine: EngineStats = field(default_factory=EngineStats)
 
     def as_dict(self) -> dict:
         return dataclasses.asdict(self)
@@ -371,9 +377,17 @@ class ChassisSession:
         pipeline = CompilePipeline(
             skip=skip, replace=replace, before=before, after=after
         )
+        # Engine counters accumulate into a local sink and fold into the
+        # session totals even when the run times out or fails partway.
+        engine_local = EngineStats()
         with self._oracle_lock:
-            with deadline(effective_timeout):
-                return pipeline.run(ctx)
+            try:
+                with deadline(effective_timeout), engine_stats_sink(engine_local):
+                    return pipeline.run(ctx)
+            finally:
+                if engine_local.any():
+                    with self._lock:
+                        self.stats.engine.merge(engine_local)
 
     def compile(
         self,
