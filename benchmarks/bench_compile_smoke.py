@@ -1,0 +1,193 @@
+"""Compile-latency smoke benchmark feeding the committed perf trajectory.
+
+Like ``bench_egraph.py`` this is a plain script CI runs directly::
+
+    PYTHONPATH=src python benchmarks/bench_compile_smoke.py [--append PATH]
+
+It times a handful of warm-session end-to-end compiles with tracing armed
+and reports, per benchmark:
+
+* wall-clock seconds of the root ``compile`` span,
+* the per-phase breakdown (parse/sample/transcribe/improve/regimes/score)
+  from the same trace,
+* **phase coverage** — the fraction of the compile span accounted for by
+  phase spans.  The script exits non-zero when coverage drops below 0.9
+  for any benchmark: untracked time inside a compile means some new
+  subsystem is missing instrumentation.
+
+With ``--append`` (the default points at the repo-root
+``BENCH_egraph.json``) the run is recorded in the committed trajectory
+file: one entry per commit, keyed by ``git rev-parse HEAD``, carrying the
+compile-latency numbers plus the engine-throughput summary from
+``results/egraph_bench.json`` when ``bench_egraph.py`` ran first (as it
+does in CI).  Re-running on the same commit replaces that commit's entry,
+so the file stays one-row-per-commit under amended pushes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.accuracy.sampler import SampleConfig  # noqa: E402
+from repro.benchsuite import core_named  # noqa: E402
+from repro.core.loop import CompileConfig  # noqa: E402
+from repro.obs.trace import Trace, tracing  # noqa: E402
+from repro.session import ChassisSession  # noqa: E402
+from repro.targets import get_target  # noqa: E402
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: Small, fast benchmarks spanning the interesting compile shapes: a
+#: cancellation rewrite, a regime split, and a libm-call replacement.
+SAMPLE = ("sqrt-sub", "logistic", "logsumexp2")
+
+#: Minimum fraction of the root compile span the phase spans must cover.
+MIN_COVERAGE = 0.9
+
+
+def git_head() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
+            cwd=ROOT, timeout=10,
+        ).stdout.strip() or "unknown"
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def git_commit_date() -> str:
+    try:
+        return subprocess.run(
+            ["git", "show", "-s", "--format=%cI", "HEAD"],
+            capture_output=True, text=True, cwd=ROOT, timeout=10,
+        ).stdout.strip() or ""
+    except (OSError, subprocess.SubprocessError):
+        return ""
+
+
+def measure(target_name: str) -> list[dict]:
+    """One traced warm-session compile per sample benchmark."""
+    target = get_target(target_name)
+    rows = []
+    with ChassisSession(
+        config=CompileConfig(iterations=1, localize_points=8),
+        sample_config=SampleConfig(n_train=8, n_test=8),
+    ) as session:
+        for name in SAMPLE:
+            core = core_named(name)
+            trace = Trace(name=f"{name}:{target.name}")
+            start = time.monotonic()
+            with tracing(trace):
+                result = session.compile(core, target)
+            elapsed = time.monotonic() - start
+            roots = trace.find("compile")
+            compile_span = roots[0]["dur"] if roots else elapsed
+            phases = trace.phase_seconds()
+            coverage = (
+                sum(phases.values()) / compile_span if compile_span else 0.0
+            )
+            rows.append({
+                "benchmark": name,
+                "seconds": round(elapsed, 3),
+                "compile_span_seconds": round(compile_span, 3),
+                "frontier": len(result.frontier),
+                "phases": {k: round(v, 4) for k, v in sorted(phases.items())},
+                "phase_coverage": round(coverage, 3),
+            })
+            slowest = max(phases, key=phases.get) if phases else "?"
+            print(
+                f"{name}: {elapsed:.2f}s "
+                f"(coverage {coverage:.0%}, slowest phase: {slowest})"
+            )
+    return rows
+
+
+def append_trajectory(path: Path, record: dict) -> None:
+    """Insert/replace this commit's entry in the trajectory file."""
+    if path.exists():
+        trajectory = json.loads(path.read_text())
+    else:
+        trajectory = {
+            "description": (
+                "Per-commit performance trajectory: compile-latency smoke "
+                "(benchmarks/bench_compile_smoke.py) plus the e-graph "
+                "engine-throughput summary (benchmarks/bench_egraph.py "
+                "--smoke).  Appended by CI; one entry per commit."
+            ),
+            "runs": [],
+        }
+    runs = [r for r in trajectory.get("runs", []) if r.get("commit") != record["commit"]]
+    runs.append(record)
+    trajectory["runs"] = runs
+    path.write_text(json.dumps(trajectory, indent=2) + "\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--target", default="c99")
+    parser.add_argument(
+        "--append",
+        default=str(ROOT / "BENCH_egraph.json"),
+        help="trajectory file to record this commit's numbers in "
+        "('' disables appending)",
+    )
+    parser.add_argument(
+        "--engine-results",
+        default=str(ROOT / "results" / "egraph_bench.json"),
+        help="bench_egraph.py output to fold into the trajectory entry",
+    )
+    args = parser.parse_args(argv)
+
+    rows = measure(args.target)
+    total = sum(row["seconds"] for row in rows)
+    worst = min(row["phase_coverage"] for row in rows)
+    print(f"\ntotal {total:.2f}s over {len(rows)} compiles, "
+          f"min phase coverage {worst:.0%}")
+
+    engine_summary = None
+    engine_path = Path(args.engine_results)
+    if engine_path.exists():
+        engine_payload = json.loads(engine_path.read_text())
+        engine_summary = {
+            "summary": engine_payload.get("summary"),
+            "full_vs_incremental_identical": engine_payload.get(
+                "full_vs_incremental_identical"
+            ),
+        }
+
+    if args.append:
+        record = {
+            "commit": git_head(),
+            "date": git_commit_date(),
+            "target": args.target,
+            "compile": {
+                "benchmarks": rows,
+                "total_seconds": round(total, 3),
+                "min_phase_coverage": worst,
+            },
+            "engine": engine_summary,
+        }
+        path = Path(args.append)
+        append_trajectory(path, record)
+        print(f"recorded commit {record['commit'][:12]} in {path}")
+
+    if worst < MIN_COVERAGE:
+        print(
+            f"FAIL: phase spans cover only {worst:.0%} of the compile span "
+            f"(minimum {MIN_COVERAGE:.0%}) — a compile stage is missing "
+            "span instrumentation",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

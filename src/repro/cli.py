@@ -16,6 +16,9 @@ Commands:
   compiler, or the sandboxed Python backend) at the sampled points.
 * ``validate`` — run emitted code and cross-check it against the Rival
   oracle and the fpeval machine (empirical accuracy report).
+* ``health`` — human-readable session/engine/oracle stats table, from a
+  running server's ``/health`` + ``/metrics`` (``--url``) or a fresh
+  in-process session.
 
 Every command that compiles goes through a :class:`ChassisSession`, so one
 invocation shares its evaluator, sample cache and (optional) persistent
@@ -111,44 +114,36 @@ def _cmd_compile(args) -> int:
         sample_config=SampleConfig(
             n_train=args.points, n_test=args.points, seed=args.seed
         ),
+        jobs=args.jobs,
     )
 
-    status = 0
-    for core in _read_cores(args.input):
-        label = core.name or core.properties.get("name", "<anonymous>")
-        start = time.monotonic()
-        engine_before = session.stats.engine.as_dict()
-        try:
-            result = session.compile(core, target)
-        except Exception as error:  # surface per-core failures, keep going
-            if args.json:
-                print(json.dumps(job_row(
-                    label, target.name, "failed",
-                    error_type=type(error).__name__, error=str(error),
-                )))
-            else:
-                print(f"{label}: FAILED ({type(error).__name__}: {error})")
-            status = 1
-            continue
+    def emit_failed(label: str, error_type: str, error: str) -> None:
         if args.json:
-            from .egraph.stats import stats_delta
+            print(json.dumps(job_row(
+                label, target.name, "failed",
+                error_type=error_type, error=error,
+            )))
+        else:
+            print(f"{label}: FAILED ({error_type}: {error})")
+
+    def emit_ok(label, core, result, elapsed, engine_delta, timings) -> None:
+        if args.json:
             from .service.results import result_to_dict
 
             # The same deterministic row shape the batch report writer emits
-            # (joinable on "benchmark"/"target", no timings or bulky
-            # fields), plus this job's engine-counter delta — e-nodes
-            # built, incremental re-match savings, saturation-cache hits
-            # and per-rule match-budget truncations (`rules_truncated`),
-            # the observability hook for tuning node/match budgets.
+            # (joinable on "benchmark"/"target", no bulky fields), plus this
+            # job's engine-counter delta — e-nodes built, incremental
+            # re-match savings, saturation-cache hits and per-rule
+            # match-budget truncations (`rules_truncated`) — and its
+            # per-phase wall-clock breakdown, the observability hooks for
+            # tuning node/match budgets and finding the slow phase.
             row = job_row(
                 label, target.name, "ok", payload=result_to_dict(result)
             )
-            row["engine"] = stats_delta(
-                session.stats.engine.as_dict(), engine_before
-            )
+            row["engine"] = engine_delta
+            row["timings"] = timings
             print(json.dumps(row))
-            continue
-        elapsed = time.monotonic() - start
+            return
         print(f"{label} on {target.name} ({elapsed:.1f}s):")
         inp = result.input_candidate
         print(f"  input  cost={inp.cost:9.1f}  bits-of-error={inp.error:6.2f}")
@@ -167,6 +162,74 @@ def _cmd_compile(args) -> int:
                     else to_fpcore(candidate.program, core)
                 )
                 print(f"    {shown}")
+
+    cores = _read_cores(args.input)
+    traces: list = []
+    status = 0
+    if args.jobs > 1:
+        from .obs.trace import trace_from_dict
+
+        # Pooled path: benchmarks fan out across warm worker processes.
+        # Each worker records its own span trace and engine counters and
+        # ships them back on the JobOutcome; --trace merges every worker's
+        # spans onto one absolute timeline below.
+        outcomes = session.compile_many(
+            [(core, target) for core in cores], trace=bool(args.trace)
+        )
+        for core, outcome in zip(cores, outcomes):
+            label = core.name or core.properties.get("name", "<anonymous>")
+            if outcome.trace:
+                traces.append(outcome.trace)
+            if not outcome.ok:
+                emit_failed(
+                    label, outcome.error_type or outcome.status, outcome.error
+                )
+                status = 1
+                continue
+            timings = (
+                trace_from_dict(outcome.trace).phase_seconds()
+                if outcome.trace else None
+            )
+            emit_ok(
+                label, core, outcome.result, outcome.elapsed,
+                outcome.engine or {}, timings,
+            )
+    else:
+        from .egraph.stats import stats_delta
+        from .obs.trace import Trace, tracing
+
+        for core in cores:
+            label = core.name or core.properties.get("name", "<anonymous>")
+            start = time.monotonic()
+            engine_before = session.stats.engine.as_dict()
+            trace = Trace(name=f"{label}:{target.name}") if args.trace else None
+            try:
+                if trace is not None:
+                    with tracing(trace):
+                        result = session.compile(core, target)
+                else:
+                    result = session.compile(core, target)
+            except Exception as error:  # surface per-core failures, keep going
+                emit_failed(label, type(error).__name__, str(error))
+                status = 1
+                continue
+            if trace is not None:
+                traces.append(trace)
+            emit_ok(
+                label, core, result, time.monotonic() - start,
+                stats_delta(session.stats.engine.as_dict(), engine_before),
+                session.last_phase_timings(),
+            )
+    if args.trace:
+        from .obs.trace import write_chrome_trace
+
+        events = write_chrome_trace(args.trace, traces)
+        print(
+            f"wrote {events} trace events from {len(traces)} compile(s) "
+            f"to {args.trace} (load in Perfetto / chrome://tracing)",
+            file=sys.stderr,
+        )
+    session.close()
     return status
 
 
@@ -292,6 +355,71 @@ def _cmd_validate(args) -> int:
     return status
 
 
+def _render_health(payload: dict) -> None:
+    """Print one ``/health`` payload as an aligned human-readable table."""
+
+    def section(title: str, mapping) -> None:
+        if not mapping:
+            return
+        print(f"{title}:")
+        for key, value in mapping.items():
+            if isinstance(value, dict):
+                rendered = (
+                    ", ".join(f"{k}={v}" for k, v in value.items()) or "-"
+                )
+                print(f"  {key:<22} {rendered}")
+            elif isinstance(value, float):
+                print(f"  {key:<22} {value:.4f}")
+            else:
+                print(f"  {key:<22} {value}")
+
+    print(f"status: {'ok' if payload.get('ok') else 'DOWN'}")
+    stats = payload.get("stats") or {}
+    section(
+        "session",
+        {k: v for k, v in stats.items() if not isinstance(v, dict)},
+    )
+    section("engine", stats.get("engine"))
+    section("oracle lock", stats.get("oracle"))
+    section("oracle", payload.get("oracle"))
+    section("cache", payload.get("cache"))
+    section("pool", payload.get("pool"))
+
+
+def _cmd_health(args) -> int:
+    """Show server (or fresh local session) health as a table or JSON."""
+    if args.url:
+        from urllib.error import URLError
+        from urllib.request import urlopen
+
+        base = args.url.rstrip("/")
+        try:
+            with urlopen(base + "/health", timeout=args.timeout) as resp:
+                payload = json.load(resp)
+            metrics_text = ""
+            if args.metrics:
+                with urlopen(base + "/metrics", timeout=args.timeout) as resp:
+                    metrics_text = resp.read().decode("utf-8")
+        except (URLError, OSError, ValueError) as error:
+            print(f"health: cannot reach {base}: {error}", file=sys.stderr)
+            return 1
+    else:
+        from .obs.metrics import METRICS
+
+        session = ChassisSession()
+        payload = session.health()
+        metrics_text = METRICS.exposition() if args.metrics else ""
+        session.close()
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        _render_health(payload)
+    if args.metrics and metrics_text:
+        print()
+        print(metrics_text, end="")
+    return 0 if payload.get("ok") else 1
+
+
 def _cmd_serve(args) -> int:
     from .service.server import serve
 
@@ -343,7 +471,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_compile.add_argument(
         "--json",
         action="store_true",
-        help="emit one machine-readable JSON object per benchmark",
+        help="emit one machine-readable JSON object per benchmark "
+        "(includes engine-counter deltas and per-phase timings)",
+    )
+    p_compile.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes; >= 2 fans benchmarks out over a pool and "
+        "merges their traces/counters back into the session",
+    )
+    p_compile.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a Chrome trace-event JSON timeline of every compile "
+        "(phases, e-graph search/apply, oracle wait/hold) to PATH; "
+        "load it in Perfetto or chrome://tracing",
     )
     p_compile.set_defaults(fn=_cmd_compile)
 
@@ -476,6 +620,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_exec_arguments(p_validate)
     p_validate.set_defaults(fn=_cmd_validate)
+
+    p_health = sub.add_parser(
+        "health",
+        help="show session/engine/oracle stats (from a server or locally)",
+    )
+    p_health.add_argument(
+        "--url",
+        default=None,
+        help="base URL of a running `repro serve` (e.g. http://127.0.0.1:8080); "
+        "omit to report on a fresh in-process session",
+    )
+    p_health.add_argument(
+        "--timeout", type=float, default=5.0, help="HTTP timeout in seconds"
+    )
+    p_health.add_argument(
+        "--metrics",
+        action="store_true",
+        help="also print the Prometheus metrics exposition",
+    )
+    p_health.add_argument(
+        "--json", action="store_true", help="emit the raw /health JSON"
+    )
+    p_health.set_defaults(fn=_cmd_health)
 
     p_score = sub.add_parser("score", help="score a program against the oracle")
     p_score.add_argument("input")

@@ -27,6 +27,7 @@ from ..egraph.stats import current_sink
 from ..egraph.typed_extract import TypedExtractor
 from ..ir.expr import Expr
 from ..ir.types import F64
+from ..obs.metrics import METRICS
 from ..rules.registry import rules_for_operators
 from ..targets.target import Target
 from ..cost.model import TargetCostModel
@@ -101,10 +102,20 @@ class SaturationCache:
             self.hits += 1
             if sink is not None:
                 sink.saturation_hits += 1
+            METRICS.counter(
+                "repro_saturation_cache_total",
+                "Improvement-loop saturation requests by cache outcome.",
+                result="hit",
+            ).inc()
             return entry
         self.misses += 1
         if sink is not None:
             sink.saturation_misses += 1
+        METRICS.counter(
+            "repro_saturation_cache_total",
+            "Improvement-loop saturation requests by cache outcome.",
+            result="miss",
+        ).inc()
         egraph = EGraph()
         root = egraph.add_expr(subexpr)
         report = run_rules(egraph, _rules_for(target), limits)

@@ -20,6 +20,7 @@ from ..cost.opportunity import cost_opportunities
 from ..egraph.runner import RunnerLimits
 from ..ir.expr import Expr
 from ..ir.fpcore import FPCore
+from ..obs.trace import span
 from ..rival.eval import RivalEvaluator
 from ..targets.target import Target
 from ..deadline import check_deadline
@@ -184,22 +185,29 @@ class ImprovementLoop:
             work = self._select_work(frontier)
             if not work:
                 break
-            new_candidates: list[Candidate] = []
-            seen: set[Expr] = set()
-            for candidate in work:
-                self._expanded.add(candidate.program)
-                for path in self.localize(candidate.program):
-                    check_deadline()
-                    for variant in self.variants_for(candidate.program, path):
-                        new_program = candidate.program.replace_at(path, variant)
-                        if new_program in seen or new_program == candidate.program:
-                            continue
-                        seen.add(new_program)
-                        new_candidates.append(self.score(new_program, "isel"))
+            with span("improve.iteration", iteration=_iteration) as iter_span:
+                new_candidates: list[Candidate] = []
+                seen: set[Expr] = set()
+                for candidate in work:
+                    self._expanded.add(candidate.program)
+                    for path in self.localize(candidate.program):
+                        check_deadline()
+                        for variant in self.variants_for(candidate.program, path):
+                            new_program = candidate.program.replace_at(path, variant)
+                            if new_program in seen or new_program == candidate.program:
+                                continue
+                            seen.add(new_program)
+                            new_candidates.append(self.score(new_program, "isel"))
+                            if len(new_candidates) >= self.config.max_new_programs:
+                                break
                         if len(new_candidates) >= self.config.max_new_programs:
                             break
-                    if len(new_candidates) >= self.config.max_new_programs:
-                        break
+                if iter_span is not None:
+                    iter_span["attrs"].update(
+                        expanded=len(work),
+                        scored=len(new_candidates),
+                        saturation_hits=self._saturations.hits,
+                    )
             frontier.update(new_candidates)
 
         if self.config.enable_regimes if with_regimes is None else with_regimes:
@@ -220,12 +228,13 @@ class ImprovementLoop:
     def add_regimes(self, frontier: ParetoFrontier) -> None:
         """Regime inference over ``frontier``, in place (paper section 5.4)."""
         candidates = frontier.sorted_by_cost()
-        branched = infer_regimes(
-            candidates,
-            self.samples.train,
-            list(self.core.arguments),
-            max_regimes=self.config.max_regimes,
-        )
+        with span("improve.regimes", candidates=len(candidates)):
+            branched = infer_regimes(
+                candidates,
+                self.samples.train,
+                list(self.core.arguments),
+                max_regimes=self.config.max_regimes,
+            )
         if branched is not None:
             frontier.add(self.score(branched, "regimes"))
 

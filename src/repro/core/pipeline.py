@@ -29,6 +29,8 @@ from ..accuracy.scoring import score_program
 from ..cost.model import TargetCostModel
 from ..ir.expr import Expr
 from ..ir.fpcore import FPCore, parse_fpcore
+from ..obs.metrics import METRICS
+from ..obs.trace import span
 from ..rival.eval import RivalEvaluator
 from ..targets.target import Target
 from ..deadline import check_deadline
@@ -82,6 +84,11 @@ class PipelineContext:
     input_candidate: Candidate | None = None
     result: CompileResult | None = None
     started: float = field(default_factory=time.monotonic)
+    #: Wall-clock seconds per executed phase, filled by
+    #: :meth:`CompilePipeline.run` (always on — six clock reads per
+    #: compile); the per-phase breakdown behind ``repro compile --json``
+    #: timings and the serve ``/compile`` ``timings`` knob.
+    phase_seconds: dict[str, float] = field(default_factory=dict)
 
     def require(self, attr: str, needed_by: str):
         """Fetch a prior phase's product, failing with a phase-aware error."""
@@ -283,11 +290,22 @@ class CompilePipeline:
         """
         for phase in self.phases:
             check_deadline()
-            if self.before is not None:
-                self.before(phase.name, ctx)
-            phase.run(ctx)
-            if self.after is not None:
-                self.after(phase.name, ctx)
+            start = time.perf_counter()
+            with span(f"phase.{phase.name}"):
+                if self.before is not None:
+                    self.before(phase.name, ctx)
+                phase.run(ctx)
+                if self.after is not None:
+                    self.after(phase.name, ctx)
+            elapsed = time.perf_counter() - start
+            ctx.phase_seconds[phase.name] = (
+                ctx.phase_seconds.get(phase.name, 0.0) + elapsed
+            )
+            METRICS.histogram(
+                "repro_phase_seconds",
+                "Wall-clock seconds spent in each compile pipeline phase.",
+                phase=phase.name,
+            ).observe(elapsed)
         return ctx
 
 

@@ -31,6 +31,7 @@ import time
 from dataclasses import dataclass, field
 
 from ..deadline import check_deadline
+from ..obs.trace import span
 from .egraph import EGraph
 from .ematch import instantiate, match_is_applied, search_pattern
 from .rewrite import Rewrite
@@ -152,7 +153,32 @@ def run_rules(
     iteration.  An optional :class:`BackoffScheduler` temporarily bans rules
     whose match counts explode.  ``incremental`` overrides the
     ``REPRO_EGRAPH_INCREMENTAL`` environment default for this run.
+
+    When a tracer is armed (:mod:`repro.obs`), the run records one
+    ``egraph.run_rules`` span (report counters as attributes) with nested
+    ``egraph.search`` / ``egraph.apply`` spans per iteration, so a slow
+    saturation shows *which* half of which iteration the time went to.
     """
+    with span("egraph.run_rules", rules=len(rules)) as run_span:
+        report = _run_rules(egraph, rules, limits, scheduler, incremental)
+        if run_span is not None:
+            run_span["attrs"].update(
+                iterations=report.iterations,
+                stop_reason=report.stop_reason,
+                matches_found=report.matches_found,
+                matches_applied=report.matches_applied,
+                enodes_built=report.enodes_built,
+            )
+        return report
+
+
+def _run_rules(
+    egraph: EGraph,
+    rules: list[Rewrite],
+    limits: RunnerLimits | None,
+    scheduler: BackoffScheduler | None,
+    incremental: bool | None,
+) -> RunnerReport:
     limits = limits or RunnerLimits()
     report = RunnerReport()
     start = time.monotonic()
@@ -194,88 +220,96 @@ def run_rules(
         throttled = False
         collected = 0
         node_budget = limits.max_nodes - egraph.num_nodes
-        for rule in rules:
-            check_deadline()
-            if scheduler is not None and not scheduler.can_fire(rule.name, iteration):
-                throttled = True
-                full_next.add(rule.name)  # it missed this graph state
-                continue
-            cap = limits.max_matches_per_rule
-            budget_left = node_budget - collected
-            if budget_left <= 0:
-                # Whatever this rule would find cannot be applied this
-                # iteration; search it fresh once the budget recovers.
-                full_next.add(rule.name)
-                continue
-            if cap is None or budget_left < cap:
-                cap = budget_left
-            use_roots = None
-            if (
-                dirty_roots is not None
-                and rule.name not in full_next
-                and rule.condition is None
-            ):
-                use_roots = dirty_roots
-                report.searches_incremental += 1
-            else:
-                report.searches_full += 1
-            full_next.discard(rule.name)
+        with span("egraph.search", iteration=iteration) as search_span:
+            for rule in rules:
+                check_deadline()
+                if scheduler is not None and not scheduler.can_fire(rule.name, iteration):
+                    throttled = True
+                    full_next.add(rule.name)  # it missed this graph state
+                    continue
+                cap = limits.max_matches_per_rule
+                budget_left = node_budget - collected
+                if budget_left <= 0:
+                    # Whatever this rule would find cannot be applied this
+                    # iteration; search it fresh once the budget recovers.
+                    full_next.add(rule.name)
+                    continue
+                if cap is None or budget_left < cap:
+                    cap = budget_left
+                use_roots = None
+                if (
+                    dirty_roots is not None
+                    and rule.name not in full_next
+                    and rule.condition is None
+                ):
+                    use_roots = dirty_roots
+                    report.searches_incremental += 1
+                else:
+                    report.searches_full += 1
+                full_next.discard(rule.name)
 
-            def effective(class_id, subst, _rhs=rule.rhs):
-                return not match_is_applied(egraph, _rhs, class_id, subst)
+                def effective(class_id, subst, _rhs=rule.rhs):
+                    return not match_is_applied(egraph, _rhs, class_id, subst)
 
-            search_stats: dict = {}
-            matches = search_pattern(
-                egraph, rule.lhs, limit=cap + 1, roots=use_roots,
-                accept=effective, search_stats=search_stats,
-            )
-            report.candidates_skipped += search_stats.get("skipped_roots", 0)
-            if len(matches) > cap:
-                matches = matches[:cap]
-                report.rules_truncated[rule.name] = (
-                    report.rules_truncated.get(rule.name, 0) + 1
+                search_stats: dict = {}
+                matches = search_pattern(
+                    egraph, rule.lhs, limit=cap + 1, roots=use_roots,
+                    accept=effective, search_stats=search_stats,
                 )
-                full_next.add(rule.name)  # dropped matches may be anywhere
-            collected += len(matches)
-            report.matches_found += len(matches)
-            if scheduler is not None and not scheduler.record_matches(
-                rule.name, len(matches), iteration
-            ):
-                throttled = True
-                full_next.add(rule.name)  # found but never applied
-                continue
-            if matches:
-                batches.append((rule, matches))
-            if time.monotonic() - start > limits.time_limit:
-                egraph.rebuild()
-                return finish("time-limit")
+                report.candidates_skipped += search_stats.get("skipped_roots", 0)
+                if len(matches) > cap:
+                    matches = matches[:cap]
+                    report.rules_truncated[rule.name] = (
+                        report.rules_truncated.get(rule.name, 0) + 1
+                    )
+                    full_next.add(rule.name)  # dropped matches may be anywhere
+                collected += len(matches)
+                report.matches_found += len(matches)
+                if scheduler is not None and not scheduler.record_matches(
+                    rule.name, len(matches), iteration
+                ):
+                    throttled = True
+                    full_next.add(rule.name)  # found but never applied
+                    continue
+                if matches:
+                    batches.append((rule, matches))
+                if time.monotonic() - start > limits.time_limit:
+                    egraph.rebuild()
+                    return finish("time-limit")
+            if search_span is not None:
+                search_span["attrs"]["matches"] = collected
 
         # Apply phase (polls the deadline and time limit as it goes).
         timed_out = False
-        for rule, matches in batches:
-            applied = 0
-            for index, (class_id, subst) in enumerate(matches):
-                if egraph.num_nodes >= limits.max_nodes:
-                    full_next.add(rule.name)  # unapplied matches remain
-                    break
-                if index % _APPLY_POLL_EVERY == 0:
-                    check_deadline()
-                    if time.monotonic() - start > limits.time_limit:
-                        timed_out = True
-                        full_next.add(rule.name)
+        with span("egraph.apply", iteration=iteration) as apply_span:
+            applied_total = 0
+            for rule, matches in batches:
+                applied = 0
+                for index, (class_id, subst) in enumerate(matches):
+                    if egraph.num_nodes >= limits.max_nodes:
+                        full_next.add(rule.name)  # unapplied matches remain
                         break
-                if rule.condition is not None and not rule.condition(egraph, subst):
-                    continue
-                new_id = instantiate(egraph, rule.rhs, subst)
-                egraph.union(egraph.find(class_id), new_id)
-                applied += 1
-            if applied:
-                report.rule_matches[rule.name] = (
-                    report.rule_matches.get(rule.name, 0) + applied
-                )
-                report.matches_applied += applied
-            if timed_out:
-                break
+                    if index % _APPLY_POLL_EVERY == 0:
+                        check_deadline()
+                        if time.monotonic() - start > limits.time_limit:
+                            timed_out = True
+                            full_next.add(rule.name)
+                            break
+                    if rule.condition is not None and not rule.condition(egraph, subst):
+                        continue
+                    new_id = instantiate(egraph, rule.rhs, subst)
+                    egraph.union(egraph.find(class_id), new_id)
+                    applied += 1
+                if applied:
+                    report.rule_matches[rule.name] = (
+                        report.rule_matches.get(rule.name, 0) + applied
+                    )
+                    report.matches_applied += applied
+                    applied_total += applied
+                if timed_out:
+                    break
+            if apply_span is not None:
+                apply_span["attrs"]["applied"] = applied_total
 
         egraph.rebuild()
 

@@ -37,10 +37,13 @@ import subprocess
 import sys
 import tempfile
 import threading
+import time
 from pathlib import Path
 
 from ..deadline import check_deadline, remaining
 from ..ir.types import F32
+from ..obs.metrics import METRICS
+from ..obs.trace import span
 
 #: Compiler candidates probed in order when ``$REPRO_CC`` is unset.
 COMPILER_CANDIDATES = ("cc", "clang", "gcc")
@@ -236,12 +239,18 @@ def build_shared(
         with os.fdopen(src_fd, "w") as handle:
             handle.write(source)
         try:
-            proc = subprocess.run(
-                [compiler, *CFLAGS, "-o", tmp_so, src_name, "-lm"],
-                capture_output=True,
-                text=True,
-                timeout=build_timeout,
-            )
+            cc_start = time.perf_counter()
+            with span("exec.cc", compiler=compiler):
+                proc = subprocess.run(
+                    [compiler, *CFLAGS, "-o", tmp_so, src_name, "-lm"],
+                    capture_output=True,
+                    text=True,
+                    timeout=build_timeout,
+                )
+            METRICS.histogram(
+                "repro_cc_seconds",
+                "Wall-clock seconds per C compiler invocation.",
+            ).observe(time.perf_counter() - cc_start)
         except (subprocess.SubprocessError, OSError) as error:
             # A hung or vanished compiler is still a build failure the
             # auto backend must be able to degrade from, not a crash.

@@ -162,6 +162,12 @@ class RivalEvaluator:
 
     def __init__(self, precisions: tuple[int, ...] = DEFAULT_PRECISIONS):
         self.precisions = precisions
+        #: Correctly-rounded evaluations performed by this evaluator.
+        #: Plain ints, not locked: every caller already serializes on the
+        #: session oracle lock (mp.workprec is process-global state).
+        self.evals = 0
+        #: Evaluations that needed more than the lowest working precision.
+        self.escalations = 0
 
     def eval(self, expr: Expr, point: dict[str, float], ty: str = F64) -> float:
         """The correctly rounded value of ``expr`` at ``point`` in format ``ty``.
@@ -170,8 +176,9 @@ class RivalEvaluator:
         point, and :class:`PrecisionExhausted` when the enclosure will not
         converge (e.g. comparing identical quantities for equality).
         """
+        self.evals += 1
         last_issue = "did not converge"
-        for prec in self.precisions:
+        for index, prec in enumerate(self.precisions):
             with mp.workprec(prec):
                 try:
                     result = _eval_interval(expr, point)
@@ -186,8 +193,8 @@ class RivalEvaluator:
                 lo = round_to_format(result.lo, ty)
                 hi = round_to_format(result.hi, ty)
                 if lo == hi:
-                    return lo
-                if math.isinf(lo) and math.isinf(hi) and lo == hi:
+                    if index:
+                        self.escalations += 1
                     return lo
         if last_issue == "possible domain error":
             raise DomainError("domain error persisted at maximum precision")

@@ -74,6 +74,7 @@ def run_compile_jobs(
     progress=None,
     inline_lock=None,
     pool=None,
+    trace: bool = False,
 ) -> list[JobOutcome]:
     """Compile many (benchmark, target) pairs; returns outcomes in order.
 
@@ -98,6 +99,11 @@ def run_compile_jobs(
     ``inline_lock`` to serialize those sections (pool-dispatched work is
     unaffected).  Going through
     :meth:`repro.api.ChassisSession.compile_many` does this for you.
+
+    ``trace=True`` asks each freshly-compiled job — wherever it runs —
+    to record a span trace, returned on ``JobOutcome.trace`` (cache hits
+    have none: no phases ran).  Engine counters come back on
+    ``JobOutcome.engine`` unconditionally.
     """
     config = config or CompileConfig()
     sample_config = sample_config or SampleConfig()
@@ -137,7 +143,10 @@ def run_compile_jobs(
                 if progress is not None:
                     progress(job_event(index, benchmark, target.name, cached=True))
                 continue
-        job = BatchJob(index, core_to_source(core), target.name, samples=samples)
+        job = BatchJob(
+            index, core_to_source(core), target.name,
+            samples=samples, trace=trace,
+        )
         if _poolable(target):
             pool_batch.append(job)
         else:
@@ -177,6 +186,8 @@ def run_compile_jobs(
             error_type=outcome_dict["error_type"],
             error=outcome_dict["error"],
             payload=outcome_dict["payload"],
+            engine=outcome_dict.get("engine"),
+            trace=outcome_dict.get("trace"),
         )
         if outcome.ok and cache is not None:
             cache.put(fingerprint, outcome.payload)

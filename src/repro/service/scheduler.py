@@ -43,7 +43,9 @@ from ..core.loop import CompileConfig
 from ..core.pipeline import compile_core
 from ..core.transcribe import Untranscribable
 from ..deadline import DeadlineExceeded, deadline
+from ..egraph.stats import EngineStats, engine_stats_sink
 from ..ir.fpcore import parse_fpcore
+from ..obs.trace import Trace, span, tracing
 from ..targets import get_target
 from .results import result_to_dict
 
@@ -73,12 +75,17 @@ def job_event(
     error: str = "",
     elapsed: float = 0.0,
     payload: dict | None = None,
+    engine: dict | None = None,
+    trace: dict | None = None,
 ) -> dict:
     """The one progress-event / worker-outcome shape.
 
     Every dict that crosses a progress callback or the process boundary —
     cache hits in the api facade, fresh jobs in :func:`run_job` — is built
-    here, so the two can never drift apart in shape.
+    here, so the two can never drift apart in shape.  ``engine`` carries
+    the job's :class:`~repro.egraph.stats.EngineStats` as a dict and
+    ``trace`` a serialized :class:`~repro.obs.trace.Trace`, so worker
+    processes ship their observability data home with the result.
     """
     return {
         "index": index,
@@ -90,6 +97,8 @@ def job_event(
         "error": error,
         "elapsed": elapsed,
         "payload": payload,
+        "engine": engine,
+        "trace": trace,
     }
 
 
@@ -109,6 +118,10 @@ class BatchJob:
     #: set.  Riding on the job keeps persistent-pool workers reusable
     #: across batches with different timeout knobs.
     timeout: float | None = None
+    #: Record a span trace of this compilation and ship it back in the
+    #: outcome (``repro compile --trace`` with pooled jobs).  Engine
+    #: counters ship unconditionally; spans only on request.
+    trace: bool = False
 
 
 @dataclass
@@ -128,6 +141,14 @@ class JobOutcome:
     payload: dict | None = None
     #: Deserialized result, attached by the api facade for ok outcomes.
     result: object | None = field(default=None, repr=False)
+    #: Engine counters from wherever the job ran (worker process or
+    #: inline), as an :meth:`EngineStats.as_dict` dict; None for cache
+    #: hits and jobs that did no engine work.  Sessions fold these into
+    #: ``SessionStats.engine`` so ``/health`` covers pooled compiles.
+    engine: dict | None = None
+    #: Serialized :class:`~repro.obs.trace.Trace` when the job asked for
+    #: one (``BatchJob.trace``); merged across workers by ``--trace``.
+    trace: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -183,12 +204,24 @@ def run_job(job: BatchJob, target=None) -> dict:
         signal.setitimer(signal.ITIMER_REAL, timeout)
     start = time.monotonic()
     result = None
+    # Engine counters always ride home on the outcome (one small dict);
+    # span traces only when the job asked (they grow with the compile).
+    engine_local = EngineStats()
+    trace = (
+        Trace(name=f"{outcome['benchmark']}:{target.name}")
+        if job.trace else None
+    )
+    trace_arm = tracing(trace) if trace is not None else nullcontext()
     try:
         try:
-            with deadline(timeout):
-                result = compile_core(
-                    core, target, config, sample_config, samples=job.samples
-                )
+            with deadline(timeout), engine_stats_sink(engine_local), trace_arm:
+                with span(
+                    "compile",
+                    benchmark=outcome["benchmark"], target=target.name,
+                ):
+                    result = compile_core(
+                        core, target, config, sample_config, samples=job.samples
+                    )
         except EXPECTED_FAILURES as error:
             outcome["status"] = "failed"
             outcome["error_type"] = type(error).__name__
@@ -219,6 +252,10 @@ def run_job(job: BatchJob, target=None) -> dict:
     outcome["elapsed"] = time.monotonic() - start
     if result is not None:
         outcome["payload"] = result_to_dict(result)
+    if engine_local.any():
+        outcome["engine"] = engine_local.as_dict()
+    if trace is not None:
+        outcome["trace"] = trace.as_dict()
     return outcome
 
 

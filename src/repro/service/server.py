@@ -7,13 +7,19 @@ result cache instead of paying process start-up per compilation.
 
 Endpoints (all bodies JSON):
 
-* ``GET  /health``  — liveness plus session/cache/worker-pool statistics.
+* ``GET  /health``  — liveness plus session/cache/worker-pool statistics,
+  engine counters folded back from pooled workers, and oracle activity.
+* ``GET  /metrics`` — the process metrics registry (:mod:`repro.obs`) in
+  Prometheus text exposition format, plus session-state gauges.
 * ``GET  /targets`` — the registered target descriptions (figure 6 data).
 * ``POST /compile`` — ``{"core": "<FPCore src>", "target": "c99"}`` plus
   optional ``iterations``/``points``/``seed``/``timeout`` knobs.  Responds
   with ``{"status": "ok", ..., "result": <payload>}``; an identical second
   request is served from the warm cache with a **byte-identical** body
-  (the ``X-Repro-Cached`` header is the only difference).
+  (the ``X-Repro-Cached`` header is the only difference).  The opt-in
+  ``"timings": true`` knob adds a per-phase wall-clock breakdown *outside*
+  the result payload (null on warm hits — no phases ran), so the cached
+  result bytes stay deterministic.
 * ``POST /batch``   — ``{"cores": [...], "targets": [...]}``; the cross
   product through the session's *persistent* worker pool + cache (each
   benchmark sampled once, shared across targets), reported in the same
@@ -44,6 +50,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import sys
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import urlparse
 
@@ -54,8 +61,16 @@ from ..exec.builder import BuildError
 from ..exec.executable import BACKENDS
 from ..exec.python_backend import PythonExecError
 from ..ir.parser import parse_expr
+from ..obs.metrics import METRICS
 from ..targets import TARGET_NAMES
 from .batch import report_line
+
+#: Routes that may appear as metric labels; anything else (scans, typos)
+#: collapses to one bucket so label cardinality stays bounded.
+_KNOWN_ROUTES = frozenset({
+    "/health", "/metrics", "/targets",
+    "/compile", "/batch", "/score", "/validate",
+})
 
 #: Request-size ceiling (bytes): far above any benchmark, far below a DoS.
 MAX_BODY_BYTES = 4 * 1024 * 1024
@@ -110,6 +125,7 @@ class ChassisRequestHandler(BaseHTTPRequestHandler):
     # --- plumbing -------------------------------------------------------------------
 
     def _send_json(self, status: int, obj: dict, headers: dict | None = None) -> None:
+        self._last_status = status
         body = json.dumps(obj).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
@@ -124,6 +140,28 @@ class ChassisRequestHandler(BaseHTTPRequestHandler):
             self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        self._last_status = status
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _observe_request(self, path: str, start: float) -> None:
+        route = path if path in _KNOWN_ROUTES else "<other>"
+        METRICS.counter(
+            "repro_http_requests_total",
+            "HTTP requests served, by route and response status.",
+            route=route, status=str(getattr(self, "_last_status", 0)),
+        ).inc()
+        METRICS.histogram(
+            "repro_http_request_seconds",
+            "Wall-clock seconds handling each HTTP request, by route.",
+            route=route,
+        ).observe(time.perf_counter() - start)
 
     def _read_body(self) -> dict:
         length = self.headers.get("Content-Length")
@@ -196,21 +234,23 @@ class ChassisRequestHandler(BaseHTTPRequestHandler):
 
     def do_GET(self):  # noqa: N802 - stdlib naming
         path = urlparse(self.path).path
+        start = time.perf_counter()
         if path == "/health":
-            session = self.session
-            self._send_json(200, {
-                "ok": True,
-                "stats": session.stats.as_dict(),
-                "cache": session.cache.stats.as_dict() if session.cache else None,
-                "pool": session.pool_info(),
-            })
+            self._send_json(200, self.session.health())
+        elif path == "/metrics":
+            self._send_text(
+                200, METRICS.exposition(),
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+            )
         elif path == "/targets":
             self._send_json(200, {"targets": self.session.targets_info()})
         else:
             self._send_json(404, {"error": f"no such endpoint: {path}"})
+        self._observe_request(path, start)
 
     def do_POST(self):  # noqa: N802 - stdlib naming
         path = urlparse(self.path).path
+        start = time.perf_counter()
         handler = {
             "/compile": self._post_compile,
             "/batch": self._post_batch,
@@ -219,6 +259,7 @@ class ChassisRequestHandler(BaseHTTPRequestHandler):
         }.get(path)
         if handler is None:
             self._send_json(404, {"error": f"no such endpoint: {path}"})
+            self._observe_request(path, start)
             return
         try:
             handler(self._read_body())
@@ -240,12 +281,17 @@ class ChassisRequestHandler(BaseHTTPRequestHandler):
             self._send_json(
                 500, {"error": str(error), "error_type": type(error).__name__}
             )
+        finally:
+            self._observe_request(path, start)
 
     def _post_compile(self, body: dict) -> None:
         target = self._resolve_target(_require(body, "target", str))
         core = self._parse_core(_require(body, "core", str), target)
         config, sample_config = self._configs_from(body)
         timeout = self._timeout_from(body)
+        want_timings = body.get("timings", False)
+        if not isinstance(want_timings, bool):
+            raise RequestError("field 'timings' must be a boolean")
         benchmark = core.name or "<anonymous>"
         try:
             payload, cached = self.session.compile_payload(
@@ -275,12 +321,22 @@ class ChassisRequestHandler(BaseHTTPRequestHandler):
             return
         # The body is built from the stored payload, so a warm repeat of an
         # identical request is byte-identical; only the header differs.
-        self._send_json(200, {
+        # Per-phase timings are opt-in and ride *outside* the result (they
+        # are non-deterministic wall clock and must never enter the cached
+        # bytes); a warm hit reports null — no phases ran.
+        response = {
             "status": "ok",
             "benchmark": benchmark,
             "target": target.name,
             "result": payload,
-        }, headers={"X-Repro-Cached": "1" if cached else "0"})
+        }
+        if want_timings:
+            response["timings"] = (
+                None if cached else self.session.last_phase_timings()
+            )
+        self._send_json(
+            200, response, headers={"X-Repro-Cached": "1" if cached else "0"}
+        )
 
     def _post_batch(self, body: dict) -> None:
         sources = _require(body, "cores", list)
@@ -422,6 +478,38 @@ class ChassisServer(ThreadingHTTPServer):
         #: in setup().  Guards against stalled keep-alive peers, not
         #: against long compiles.
         self.request_timeout = request_timeout
+        self._register_session_gauges()
+
+    def _register_session_gauges(self) -> None:
+        """Expose live session state on ``/metrics`` as gauges.
+
+        Computed at exposition time from the bound session; re-binding a
+        new server replaces the callables (``gauge_fn`` re-registration),
+        so a fresh session never scrapes a dead one's closures.
+        """
+        session = self.session
+        gauges = {
+            "repro_session_compiles":
+                ("Fresh compilations completed over the session's lifetime.",
+                 lambda: session.stats.compiles),
+            "repro_session_cache_hits":
+                ("Compile requests answered from the persistent cache.",
+                 lambda: session.stats.cache_hits),
+            "repro_session_failures":
+                ("Compilations that raised over the session's lifetime.",
+                 lambda: session.stats.failures),
+            "repro_session_timeouts":
+                ("Compilations that exceeded their deadline.",
+                 lambda: session.stats.timeouts),
+            "repro_session_engine_enodes_built":
+                ("E-nodes built by the e-graph engine, inline and pooled.",
+                 lambda: session.stats.engine.enodes_built),
+            "repro_oracle_evals":
+                ("Correctly-rounded oracle evaluations performed in-process.",
+                 lambda: session.evaluator.evals),
+        }
+        for name, (help_text, fn) in gauges.items():
+            METRICS.gauge_fn(name, fn, help_text)
 
 
 def create_server(

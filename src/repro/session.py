@@ -43,9 +43,11 @@ from __future__ import annotations
 
 import dataclasses
 import threading
+import time
 import weakref
 from collections import OrderedDict
 from concurrent.futures import Future, ThreadPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from .accuracy.sampler import SampleConfig, SampleSet, SamplingError, sample_core
@@ -76,6 +78,8 @@ from .ir.expr import Expr
 from .ir.fpcore import FPCore, parse_fpcore
 from .ir.parser import parse_expr
 from .ir.printer import expr_to_sexpr
+from .obs.metrics import METRICS
+from .obs.trace import span
 from .perf.simulator import PerfSimulator
 from .rival.eval import RivalEvaluator
 from .service.api import JobSpec, _poolable, run_compile_jobs
@@ -91,6 +95,21 @@ from .service.results import result_from_dict, result_to_dict
 from .service.scheduler import JobOutcome, JobTimeout
 from .targets import all_targets, get_target
 from .targets.target import Target
+
+
+@dataclass
+class OracleStats:
+    """Contention counters for the session oracle lock (the one RLock
+    serializing all mpmath work).  ``wait_seconds`` is time spent queueing
+    behind other threads; ``hold_seconds`` is time spent doing oracle
+    work — a high wait/hold ratio means concurrent requests are starving
+    on the process-global precision state and more worker processes
+    (``jobs``) would help."""
+
+    acquisitions: int = 0
+    wait_seconds: float = 0.0
+    hold_seconds: float = 0.0
+    max_wait_seconds: float = 0.0
 
 
 @dataclass
@@ -111,9 +130,13 @@ class SessionStats:
     validation_hits: int = 0
     #: E-graph engine counters (e-nodes built, matches found/applied,
     #: incremental re-match savings, saturation-cache hits), accumulated
-    #: from every in-process pipeline run.  Worker processes keep their
-    #: own totals; these cover inline compiles only.
+    #: from every in-process pipeline run *and* — shipped back through
+    #: ``JobOutcome.engine`` — from every pooled worker-process compile,
+    #: so ``/health`` covers the whole session regardless of where jobs
+    #: ran.
     engine: EngineStats = field(default_factory=EngineStats)
+    #: Oracle-lock wait vs hold time (see :class:`OracleStats`).
+    oracle: OracleStats = field(default_factory=OracleStats)
 
     def as_dict(self) -> dict:
         return dataclasses.asdict(self)
@@ -210,6 +233,14 @@ class ChassisSession:
         self._lock = threading.RLock()
         # Serializes every mpmath-backed computation (see class docstring).
         self._oracle_lock = threading.RLock()
+        #: Per-thread re-entrancy depth of :meth:`_oracle_section` — the
+        #: lock is an RLock and sections nest (the pipeline runs inside
+        #: the compile entry's section); only the outermost acquisition
+        #: records wait/hold, so nesting never double-counts.
+        self._oracle_local = threading.local()
+        #: Per-thread phase timings of the last fresh compile (None after
+        #: a warm cache hit — no phases ran); see :meth:`last_phase_timings`.
+        self._timings_local = threading.local()
         self._samples: OrderedDict[str, SampleSet] = OrderedDict()
         self._max_sample_entries = max_sample_entries
         # Keyed by id() (targets are unhashable frozen objects); entries
@@ -274,6 +305,61 @@ class ChassisSession:
                 self.stats.sample_hits += 1
             return cached
 
+    @contextmanager
+    def _oracle_section(self, label: str):
+        """Hold the oracle lock around one section, recording queueing
+        time and hold time separately (``stats.oracle``, the
+        ``repro_oracle_*_seconds`` histograms, and ``oracle.wait`` /
+        ``oracle.hold`` spans when a tracer is armed).
+
+        Wait-vs-hold must be split because the cooperative deadline
+        deliberately excludes queueing (the PR-3 contract): a request that
+        spent 30s waiting and 2s computing looks identical to a 2s compile
+        from the deadline's view, and this is where that difference shows.
+        """
+        depth = getattr(self._oracle_local, "depth", 0)
+        if depth:
+            # Nested section on the same thread: the RLock is already
+            # ours, so there is nothing to wait for and the outer section
+            # owns the accounting.
+            self._oracle_local.depth = depth + 1
+            try:
+                with self._oracle_lock:
+                    yield
+            finally:
+                self._oracle_local.depth = depth
+            return
+        wait_start = time.perf_counter()
+        with span("oracle.wait", section=label):
+            self._oracle_lock.acquire()
+        waited = time.perf_counter() - wait_start
+        self._oracle_local.depth = 1
+        hold_start = time.perf_counter()
+        try:
+            with span("oracle.hold", section=label):
+                yield
+        finally:
+            held = time.perf_counter() - hold_start
+            self._oracle_local.depth = 0
+            self._oracle_lock.release()
+            METRICS.histogram(
+                "repro_oracle_wait_seconds",
+                "Seconds spent queueing for the session oracle lock.",
+                section=label,
+            ).observe(waited)
+            METRICS.histogram(
+                "repro_oracle_hold_seconds",
+                "Seconds the session oracle lock was held, by section.",
+                section=label,
+            ).observe(held)
+            with self._lock:
+                oracle = self.stats.oracle
+                oracle.acquisitions += 1
+                oracle.wait_seconds += waited
+                oracle.hold_seconds += held
+                if waited > oracle.max_wait_seconds:
+                    oracle.max_wait_seconds = waited
+
     def is_cached(
         self,
         core: FPCore | str,
@@ -314,7 +400,7 @@ class ChassisSession:
             return cached
         with self._lock:
             self.stats.sample_misses += 1
-        with self._oracle_lock:
+        with self._oracle_section("sample"):
             # A concurrent identical request may have sampled and cached
             # this benchmark while we waited for the lock; re-checking
             # beats re-running the oracle over every point.  (A contended
@@ -323,7 +409,8 @@ class ChassisSession:
             if cached is not None:
                 return cached
             with deadline(self.timeout if timeout is None else timeout):
-                samples = sample_core(core, sample_config, self.evaluator)
+                with span("phase.sample", benchmark=core.name or "<anonymous>"):
+                    samples = sample_core(core, sample_config, self.evaluator)
         with self._lock:
             self._samples[key] = samples
             while len(self._samples) > self._max_sample_entries:
@@ -362,32 +449,58 @@ class ChassisSession:
         target = self.resolve_target(target)
         sample_config = sample_config or self.sample_config
         core = self.parse(core, target)
-        if samples is None and "sample" not in set(skip) and (
-            replace is None or "sample" not in replace
+        sample_elapsed = 0.0
+        with span(
+            "compile",
+            benchmark=core.name or "<anonymous>", target=target.name,
         ):
-            samples = self.samples_for(core, sample_config, timeout=effective_timeout)
-        ctx = PipelineContext(
-            target=target,
-            config=config or self.config,
-            sample_config=sample_config,
-            evaluator=self.evaluator,
-            core=core,
-            samples=samples,
-        )
-        pipeline = CompilePipeline(
-            skip=skip, replace=replace, before=before, after=after
-        )
-        # Engine counters accumulate into a local sink and fold into the
-        # session totals even when the run times out or fails partway.
-        engine_local = EngineStats()
-        with self._oracle_lock:
-            try:
-                with deadline(effective_timeout), engine_stats_sink(engine_local):
-                    return pipeline.run(ctx)
-            finally:
-                if engine_local.any():
-                    with self._lock:
-                        self.stats.engine.merge(engine_local)
+            if samples is None and "sample" not in set(skip) and (
+                replace is None or "sample" not in replace
+            ):
+                sample_start = time.perf_counter()
+                samples = self.samples_for(
+                    core, sample_config, timeout=effective_timeout
+                )
+                sample_elapsed = time.perf_counter() - sample_start
+            ctx = PipelineContext(
+                target=target,
+                config=config or self.config,
+                sample_config=sample_config,
+                evaluator=self.evaluator,
+                core=core,
+                samples=samples,
+            )
+            pipeline = CompilePipeline(
+                skip=skip, replace=replace, before=before, after=after
+            )
+            # Engine counters accumulate into a local sink and fold into the
+            # session totals even when the run times out or fails partway.
+            engine_local = EngineStats()
+            with self._oracle_section("pipeline"):
+                try:
+                    with deadline(effective_timeout), engine_stats_sink(engine_local):
+                        return pipeline.run(ctx)
+                finally:
+                    if engine_local.any():
+                        with self._lock:
+                            self.stats.engine.merge(engine_local)
+                    # Session pre-sampling makes the pipeline's own sample
+                    # phase a no-op; attribute the real draw to it so the
+                    # per-phase breakdown sums to the compile's wall clock.
+                    timings = dict(ctx.phase_seconds)
+                    if sample_elapsed:
+                        timings["sample"] = (
+                            timings.get("sample", 0.0) + sample_elapsed
+                        )
+                    self._timings_local.phases = timings
+
+    def last_phase_timings(self) -> dict[str, float] | None:
+        """Per-phase wall-clock seconds of this thread's most recent fresh
+        compile — parse/sample/transcribe/improve/regimes/score — or
+        ``None`` when the last compile entry was a warm cache hit (no
+        phases ran).  Thread-local, so concurrent serve handlers each see
+        their own compile's breakdown."""
+        return getattr(self._timings_local, "phases", None)
 
     def compile(
         self,
@@ -467,15 +580,25 @@ class ChassisSession:
         )
         fingerprint = job_fingerprint(core, target, config, sample_config)
         cacheable = self.cache is not None and use_cache and not customized
+        # A cache hit runs no phases; stale timings from an earlier compile
+        # on this thread must not be attributed to it.
+        self._timings_local.phases = None
+        def outcome_counter(outcome: str):
+            return METRICS.counter(
+                "repro_compiles_total",
+                "Session compile entries by outcome.",
+                outcome=outcome,
+            )
 
         if cacheable:
             payload = self.cache.get(fingerprint)
             if payload is not None:
                 with self._lock:
                     self.stats.cache_hits += 1
+                outcome_counter("cache_hit").inc()
                 return payload, True, fingerprint, None
 
-        with self._oracle_lock:
+        with self._oracle_section("compile"):
             if cacheable:
                 # A concurrent identical request may have compiled and
                 # stored this job while we waited for the lock; a second
@@ -485,6 +608,7 @@ class ChassisSession:
                 if payload is not None:
                     with self._lock:
                         self.stats.cache_hits += 1
+                    outcome_counter("cache_hit").inc()
                     return payload, True, fingerprint, None
             try:
                 ctx = self.run_pipeline(
@@ -496,10 +620,12 @@ class ChassisSession:
             except DeadlineExceeded:
                 with self._lock:
                     self.stats.timeouts += 1
+                outcome_counter("timeout").inc()
                 raise
             except Exception:
                 with self._lock:
                     self.stats.failures += 1
+                outcome_counter("failure").inc()
                 raise
             if ctx.result is None:
                 raise PipelineError(
@@ -508,6 +634,7 @@ class ChassisSession:
                 )
             with self._lock:
                 self.stats.compiles += 1
+            outcome_counter("ok").inc()
             payload = result_to_dict(ctx.result)
             if cacheable:
                 # Stored before the lock is released, so a waiting
@@ -657,10 +784,11 @@ class ChassisSession:
         # arm directly; the compiler subprocess inside is capped by the
         # remaining budget (it cannot poll cooperatively).
         with deadline(self.timeout if timeout is None else timeout):
-            executable = executable_for(
-                program, core, target,
-                backend=backend, build_cache=self.build_cache(),
-            )
+            with span("exec.build", backend=backend, target=target.name):
+                executable = executable_for(
+                    program, core, target,
+                    backend=backend, build_cache=self.build_cache(),
+                )
         with self._lock:
             self._executables[key] = executable
             while len(self._executables) > 64:
@@ -707,10 +835,13 @@ class ChassisSession:
         samples = self.samples_for(core, sample_config, timeout=effective_timeout)
         points = samples.test or samples.train
         with deadline(effective_timeout):
-            outputs = []
-            for point in points:
-                check_deadline()
-                outputs.append(executable.run_point(point))
+            with span(
+                "exec.run", backend=executable.backend, points=len(points)
+            ):
+                outputs = []
+                for point in points:
+                    check_deadline()
+                    outputs.append(executable.run_point(point))
         with self._lock:
             self.stats.executions += 1
         return ExecutionRun(
@@ -778,9 +909,10 @@ class ChassisSession:
         )
         samples = self.samples_for(core, effective_samples, timeout=effective_timeout)
         with deadline(effective_timeout):
-            report = validate_executable(
-                executable, resolved, core, target, samples
-            )
+            with span("exec.validate", backend=executable.backend):
+                report = validate_executable(
+                    executable, resolved, core, target, samples
+                )
         with self._lock:
             self.stats.validations += 1
             self._validations[key] = report
@@ -854,7 +986,12 @@ class ChassisSession:
 
         ``compile`` bumps these inline; batch paths historically did not,
         so ``/health`` under-reported failures and never saw timeouts.
+        Engine counters shipped back on ``JobOutcome.engine`` — from
+        worker processes and inline batch jobs alike — merge into
+        ``stats.engine``, closing the gap where pooled compiles did real
+        e-graph work that ``/health`` never saw.
         """
+        known = {fld.name for fld in dataclasses.fields(EngineStats)}
         with self._lock:
             for outcome in outcomes:
                 if outcome.cached:
@@ -865,6 +1002,11 @@ class ChassisSession:
                     self.stats.timeouts += 1
                 else:
                     self.stats.failures += 1
+                if outcome.engine:
+                    self.stats.engine.merge(EngineStats(**{
+                        key: value for key, value in outcome.engine.items()
+                        if key in known
+                    }))
 
     def compile_many(
         self,
@@ -875,6 +1017,7 @@ class ChassisSession:
         jobs: int | None = None,
         timeout: float | None = None,
         progress=None,
+        trace: bool = False,
     ) -> list[JobOutcome]:
         """Batch compilation through the session's pool, cache and knobs.
 
@@ -891,6 +1034,11 @@ class ChassisSession:
         worker state; the session's oracle lock is passed down so exactly
         those inline sections are serialized against concurrent compiles,
         while pool-dispatched work (separate processes) runs unlocked.
+
+        ``trace=True`` records a span trace per freshly-compiled job
+        (returned on ``JobOutcome.trace``, merged across workers by
+        ``repro compile --trace``); engine counters ship back and fold
+        into ``stats.engine`` unconditionally.
         """
         with self._lock:
             self.stats.batches += 1
@@ -909,6 +1057,7 @@ class ChassisSession:
             progress=progress,
             inline_lock=self._oracle_lock,
             pool=pool,
+            trace=trace,
         )
         self._fold_outcomes(outcomes)
         return outcomes
@@ -995,6 +1144,25 @@ class ChassisSession:
         """JSON-able description of every registered target (``/targets``);
         see the module-level :func:`targets_info`."""
         return targets_info()
+
+    def health(self) -> dict:
+        """The liveness/statistics payload behind the serve ``/health``
+        route and ``repro health``: session counters (including engine
+        totals folded back from pooled workers), persistent-cache stats,
+        worker-pool state, and oracle activity (correctly-rounded
+        evaluations plus lock wait-vs-hold)."""
+        with self._lock:
+            stats = self.stats.as_dict()
+        return {
+            "ok": True,
+            "stats": stats,
+            "cache": self.cache.stats.as_dict() if self.cache else None,
+            "pool": self.pool_info(),
+            "oracle": {
+                "evals": self.evaluator.evals,
+                "escalations": self.evaluator.escalations,
+            },
+        }
 
     def close(self) -> None:
         """Drain the submit pool and the worker pool; the session stays
