@@ -19,9 +19,11 @@ With ``--append`` (the default points at the repo-root
 ``BENCH_egraph.json``) the run is recorded in the committed trajectory
 file: one entry per commit, keyed by ``git rev-parse HEAD``, carrying the
 compile-latency numbers plus the engine-throughput summary from
-``results/egraph_bench.json`` when ``bench_egraph.py`` ran first (as it
-does in CI).  Re-running on the same commit replaces that commit's entry,
-so the file stays one-row-per-commit under amended pushes.
+``results/egraph_bench.json`` and the oracle-backend throughput summary
+from ``results/oracle_bench.json`` when ``bench_egraph.py`` /
+``bench_oracle.py`` ran first (as they do in CI).  Re-running on the
+same commit replaces that commit's entry, so the file stays
+one-row-per-commit under amended pushes.
 """
 
 from __future__ import annotations
@@ -119,7 +121,9 @@ def append_trajectory(path: Path, record: dict) -> None:
                 "Per-commit performance trajectory: compile-latency smoke "
                 "(benchmarks/bench_compile_smoke.py) plus the e-graph "
                 "engine-throughput summary (benchmarks/bench_egraph.py "
-                "--smoke).  Appended by CI; one entry per commit."
+                "--smoke) and the oracle-backend throughput summary "
+                "(benchmarks/bench_oracle.py --smoke).  Appended by CI; "
+                "one entry per commit."
             ),
             "runs": [],
         }
@@ -143,6 +147,11 @@ def main(argv=None) -> int:
         default=str(ROOT / "results" / "egraph_bench.json"),
         help="bench_egraph.py output to fold into the trajectory entry",
     )
+    parser.add_argument(
+        "--oracle-results",
+        default=str(ROOT / "results" / "oracle_bench.json"),
+        help="bench_oracle.py output to fold into the trajectory entry",
+    )
     args = parser.parse_args(argv)
 
     rows = measure(args.target)
@@ -162,6 +171,12 @@ def main(argv=None) -> int:
             ),
         }
 
+    oracle_summary = None
+    oracle_path = Path(args.oracle_results)
+    if oracle_path.exists():
+        oracle_payload = json.loads(oracle_path.read_text())
+        oracle_summary = oracle_payload.get("summary")
+
     if args.append:
         record = {
             "commit": git_head(),
@@ -173,6 +188,7 @@ def main(argv=None) -> int:
                 "min_phase_coverage": worst,
             },
             "engine": engine_summary,
+            "oracle": oracle_summary,
         }
         path = Path(args.append)
         append_trajectory(path, record)

@@ -2,7 +2,7 @@
 
 from .localerror import local_errors
 from .sampler import SampleConfig, SampleSet, SamplingError, sample_core
-from .scoring import pointwise_errors, score_program
+from .scoring import oracle_exact_values, pointwise_errors, score_program
 from .ulp import (
     accuracy_bits,
     bits_of_error,
@@ -26,6 +26,7 @@ __all__ = [
     "SamplingError",
     "sample_core",
     "score_program",
+    "oracle_exact_values",
     "pointwise_errors",
     "local_errors",
 ]

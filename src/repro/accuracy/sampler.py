@@ -166,15 +166,28 @@ def sample_core(
     core: FPCore,
     config: SampleConfig | None = None,
     evaluator: RivalEvaluator | None = None,
+    oracle: "OracleBackend | None" = None,
 ) -> SampleSet:
     """Sample valid train/test points for an FPCore, with exact values.
 
     A point is valid when the precondition holds and the correctly-rounded
     value of the body exists and is finite.  The exact values are kept so
     scoring never re-runs the oracle on the same points.
+
+    Candidates are drawn in blocks and oracled per block through an
+    :class:`~repro.rival.backends.OracleBackend` (``oracle``, defaulting
+    to one built from ``evaluator`` and the ``REPRO_ORACLE_BACKEND``
+    knob), so vectorized/pooled backends see whole point sets at once.
+    Every backend is an acceptance filter over the same ladder semantics,
+    so the sampled points, exact values, and acceptance ratio are
+    bit-identical to the historical draw-at-a-time loop for any backend
+    choice.
     """
+    from ..rival.backends import make_backend
+
     config = config or SampleConfig()
-    evaluator = evaluator or RivalEvaluator()
+    if oracle is None:
+        oracle = make_backend(evaluator=evaluator)
     rng = random.Random(config.seed)
     wanted = config.n_train + config.n_test
     ranges = _collect_ranges(core.pre, core.arguments)
@@ -184,26 +197,40 @@ def sample_core(
     attempts = 0
     batch_size = max(wanted, 32)
     for _batch in range(config.max_batches):
-        for _ in range(batch_size):
-            check_deadline()  # oracle evaluation dominates; poll per draw
-            attempts += 1
-            point = {
+        check_deadline()  # the backends poll too, per batch or per point
+        candidates = [
+            {
                 name: _random_in_range(rng, ranges[name], core.precision)
                 for name in core.arguments
             }
-            if core.pre is not None:
-                try:
-                    if not evaluator.eval_bool(core.pre, point):
-                        continue
-                except Exception:
-                    continue
-            try:
-                exact = evaluator.eval(core.body, point, core.precision)
-            except Exception:
+            for _ in range(batch_size)
+        ]
+        if core.pre is not None:
+            verdicts = oracle.eval_bool_batch(core.pre, candidates)
+            passing = [
+                index for index, verdict in enumerate(verdicts)
+                if verdict.truthy
+            ]
+        else:
+            passing = list(range(batch_size))
+        outcomes = oracle.eval_batch(
+            core.body, [candidates[index] for index in passing],
+            core.precision,
+        )
+        exact_at = {
+            index: outcome.value
+            for index, outcome in zip(passing, outcomes)
+            if outcome.ok and math.isfinite(outcome.value)
+        }
+        # Walk the block in draw order so ``attempts`` counts exactly the
+        # draws the historical loop would have made: it stopped on the
+        # wanted-th valid point, mid-block.
+        for index in range(batch_size):
+            attempts += 1
+            exact = exact_at.get(index)
+            if exact is None:
                 continue
-            if not math.isfinite(exact):
-                continue
-            points.append(point)
+            points.append(candidates[index])
             exacts.append(exact)
             if len(points) >= wanted:
                 break

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from typing import Mapping, Sequence
 
 from ..fpeval.machine import compile_expr
@@ -11,6 +12,24 @@ from ..targets.target import Target
 from .ulp import bits_of_error
 
 Point = Mapping[str, float]
+
+
+def oracle_exact_values(
+    oracle,
+    expr: Expr,
+    points: Sequence[Point],
+    ty: str = F64,
+) -> list[float]:
+    """Correctly rounded values of ``expr`` over a whole point set, in one
+    batched backend call (the scoring-side twin of the sampler's per-block
+    oracling).  Points where the oracle reports a failure — domain error,
+    precision exhaustion, unknown operator — come back as NaN, which
+    :func:`bits_of_error` treats as worst case.
+    """
+    return [
+        result.value if result.ok else math.nan
+        for result in oracle.eval_batch(expr, list(points), ty)
+    ]
 
 
 def score_program(

@@ -381,6 +381,7 @@ def _render_health(payload: dict) -> None:
     )
     section("engine", stats.get("engine"))
     section("oracle lock", stats.get("oracle"))
+    section("pooled oracle", stats.get("rival"))
     section("oracle", payload.get("oracle"))
     section("cache", payload.get("cache"))
     section("pool", payload.get("pool"))

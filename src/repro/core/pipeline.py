@@ -73,6 +73,9 @@ class PipelineContext:
     config: CompileConfig = field(default_factory=CompileConfig)
     sample_config: SampleConfig | None = None
     evaluator: RivalEvaluator = field(default_factory=RivalEvaluator)
+    #: Batched oracle backend used by the sample phase; None builds one
+    #: around ``evaluator`` per the ``REPRO_ORACLE_BACKEND`` knob.
+    oracle: object | None = None
     #: FPCore source text, consumed by the parse phase when ``core`` is unset.
     source: str | None = None
     core: FPCore | None = None
@@ -136,7 +139,9 @@ class SamplePhase:
         if ctx.samples is not None:
             return
         core = ctx.require("core", self.name)
-        ctx.samples = sample_core(core, ctx.sample_config, ctx.evaluator)
+        ctx.samples = sample_core(
+            core, ctx.sample_config, ctx.evaluator, oracle=ctx.oracle
+        )
 
 
 class TranscribePhase:
@@ -317,6 +322,7 @@ def compile_core(
     samples: SampleSet | None = None,
     evaluator: RivalEvaluator | None = None,
     pipeline: CompilePipeline | None = None,
+    oracle: object | None = None,
 ) -> CompileResult:
     """Compile one FPCore to a Pareto frontier of programs on ``target``.
 
@@ -336,6 +342,7 @@ def compile_core(
         config=config or CompileConfig(),
         sample_config=sample_config,
         evaluator=evaluator or RivalEvaluator(),
+        oracle=oracle,
         source=core if isinstance(core, str) else None,
         core=core if isinstance(core, FPCore) else None,
         samples=samples,

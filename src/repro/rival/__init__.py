@@ -1,5 +1,15 @@
 """Rival-style interval arithmetic: correctly-rounded real evaluation."""
 
+from .backends import (
+    BACKEND_NAMES,
+    MpmathBackend,
+    NumpyBackend,
+    OracleBackend,
+    OracleCounters,
+    PointResult,
+    make_backend,
+    resolve_backend_name,
+)
 from .eval import (
     DEFAULT_PRECISIONS,
     PrecisionExhausted,
@@ -16,4 +26,12 @@ __all__ = [
     "PrecisionExhausted",
     "round_to_format",
     "DEFAULT_PRECISIONS",
+    "BACKEND_NAMES",
+    "MpmathBackend",
+    "NumpyBackend",
+    "OracleBackend",
+    "OracleCounters",
+    "PointResult",
+    "make_backend",
+    "resolve_backend_name",
 ]

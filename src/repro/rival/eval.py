@@ -13,6 +13,7 @@ import math
 from fractions import Fraction
 
 import mpmath
+import numpy as np
 from mpmath import mp, mpf
 
 from ..ir.expr import App, Const, Expr, Num, Var
@@ -51,8 +52,6 @@ def _clamp_f64(x: float) -> float:
 
 
 def _clamp_f32(x: float) -> float:
-    import numpy as np
-
     return float(np.float32(x))
 
 
@@ -163,8 +162,11 @@ class RivalEvaluator:
     def __init__(self, precisions: tuple[int, ...] = DEFAULT_PRECISIONS):
         self.precisions = precisions
         #: Correctly-rounded evaluations performed by this evaluator.
-        #: Plain ints, not locked: every caller already serializes on the
-        #: session oracle lock (mp.workprec is process-global state).
+        #: Plain ints, not locked: in-process callers serialize on the
+        #: session's mpmath-rung lock (mp.workprec is process-global
+        #: state), and per-worker instances are single-threaded — their
+        #: counts travel home as ``JobOutcome.oracle`` deltas and merge
+        #: into ``SessionStats.rival`` under the session lock.
         self.evals = 0
         #: Evaluations that needed more than the lowest working precision.
         self.escalations = 0

@@ -187,6 +187,7 @@ def run_compile_jobs(
             error=outcome_dict["error"],
             payload=outcome_dict["payload"],
             engine=outcome_dict.get("engine"),
+            oracle=outcome_dict.get("oracle"),
             trace=outcome_dict.get("trace"),
         )
         if outcome.ok and cache is not None:

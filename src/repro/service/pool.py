@@ -39,6 +39,7 @@ import time
 
 from ..accuracy.sampler import SampleConfig
 from ..core.loop import CompileConfig
+from ..deadline import check_deadline
 from .cache import config_fingerprint
 from .scheduler import BatchJob, _pool_context, _worker_init, job_event, run_job
 
@@ -290,3 +291,44 @@ class WorkerPool:
                     self._stale = True
                 self._condition.notify_all()
         return outcomes
+
+    def run_tasks(
+        self,
+        fn,
+        tasks: list,
+        config: CompileConfig | None = None,
+        sample_config: SampleConfig | None = None,
+    ) -> list:
+        """Run small picklable tasks on the warm workers, in task order.
+
+        The lightweight sibling of :meth:`run_batch` for sub-job work —
+        oracle batch shards, not whole compilations.  ``fn`` must be a
+        module-level function of one task.  No watchdog rides along (an
+        oracle shard has no per-job timeout to measure against); instead
+        the *caller's* cooperative deadline is polled while waiting, so a
+        timed-out compile abandons its shards — results land in the pool
+        machinery and are dropped — without wedging or recycling the
+        pool.  Worker exceptions re-raise here.
+        """
+        config = config or CompileConfig()
+        sample_config = sample_config or SampleConfig()
+        with self._condition:
+            pool = self._ensure(config, sample_config)
+            pending = [pool.apply_async(fn, (task,)) for task in tasks]
+            self._active += 1
+            self._progress_mark = time.monotonic()
+        results: list = []
+        try:
+            for handle in pending:
+                while True:
+                    try:
+                        results.append(handle.get(WATCHDOG_POLL))
+                        self._progress_mark = time.monotonic()
+                        break
+                    except multiprocessing.TimeoutError:
+                        check_deadline()
+        finally:
+            with self._condition:
+                self._active -= 1
+                self._condition.notify_all()
+        return results

@@ -46,6 +46,8 @@ from ..deadline import DeadlineExceeded, deadline
 from ..egraph.stats import EngineStats, engine_stats_sink
 from ..ir.fpcore import parse_fpcore
 from ..obs.trace import Trace, span, tracing
+from ..rival.backends import make_backend, resolve_backend_name
+from ..rival.eval import RivalEvaluator
 from ..targets import get_target
 from .results import result_to_dict
 
@@ -76,6 +78,7 @@ def job_event(
     elapsed: float = 0.0,
     payload: dict | None = None,
     engine: dict | None = None,
+    oracle: dict | None = None,
     trace: dict | None = None,
 ) -> dict:
     """The one progress-event / worker-outcome shape.
@@ -98,6 +101,7 @@ def job_event(
         "elapsed": elapsed,
         "payload": payload,
         "engine": engine,
+        "oracle": oracle,
         "trace": trace,
     }
 
@@ -146,6 +150,11 @@ class JobOutcome:
     #: hits and jobs that did no engine work.  Sessions fold these into
     #: ``SessionStats.engine`` so ``/health`` covers pooled compiles.
     engine: dict | None = None
+    #: Oracle counters from wherever the job ran — the per-job
+    #: evaluator's ``evals``/``escalations`` plus its backend's batch
+    #: counters, as an :meth:`OracleCounters.as_dict` dict; None for
+    #: cache hits.  Sessions fold these into ``SessionStats.rival``.
+    oracle: dict | None = None
     #: Serialized :class:`~repro.obs.trace.Trace` when the job asked for
     #: one (``BatchJob.trace``); merged across workers by ``--trace``.
     trace: dict | None = None
@@ -189,6 +198,17 @@ def run_job(job: BatchJob, target=None) -> dict:
     core = parse_fpcore(job.core_source, known_ops=set(target.operators))
     outcome = job_event(job.index, core.name or "<anonymous>", target.name)
 
+    # Per-job oracle: a private evaluator (its counters ship home on the
+    # outcome — worker instances cannot touch the session's) behind the
+    # backend the environment asks for.  "pool" degrades to the in-process
+    # fast path: a job is already on a worker; it must not nest pools.
+    evaluator = RivalEvaluator()
+    oracle_name = resolve_backend_name()
+    oracle = make_backend(
+        "numpy" if oracle_name == "pool" else oracle_name,
+        evaluator=evaluator,
+    )
+
     # The cooperative deadline (armed below) bounds the compile on any
     # thread; SIGALRM rides along as a hard backstop, but it only arms in
     # the main thread — off-main-thread callers (serve handler threads,
@@ -220,7 +240,9 @@ def run_job(job: BatchJob, target=None) -> dict:
                     benchmark=outcome["benchmark"], target=target.name,
                 ):
                     result = compile_core(
-                        core, target, config, sample_config, samples=job.samples
+                        core, target, config, sample_config,
+                        samples=job.samples, evaluator=evaluator,
+                        oracle=oracle,
                     )
         except EXPECTED_FAILURES as error:
             outcome["status"] = "failed"
@@ -254,6 +276,11 @@ def run_job(job: BatchJob, target=None) -> dict:
         outcome["payload"] = result_to_dict(result)
     if engine_local.any():
         outcome["engine"] = engine_local.as_dict()
+    counters = oracle.counters()
+    counters.evals += evaluator.evals
+    counters.escalations += evaluator.escalations
+    if counters.any():
+        outcome["oracle"] = counters.as_dict()
     if trace is not None:
         outcome["trace"] = trace.as_dict()
     return outcome

@@ -505,8 +505,16 @@ class ChassisServer(ThreadingHTTPServer):
                 ("E-nodes built by the e-graph engine, inline and pooled.",
                  lambda: session.stats.engine.enodes_built),
             "repro_oracle_evals":
-                ("Correctly-rounded oracle evaluations performed in-process.",
-                 lambda: session.evaluator.evals),
+                ("Correctly-rounded oracle ladder evaluations, in-process "
+                 "plus folded back from pooled workers.",
+                 lambda: (session.evaluator.evals
+                          + session.oracle.counters().evals
+                          + session.stats.rival.evals)),
+            "repro_oracle_fastpath_points":
+                ("Batched oracle points settled by the vectorized fast "
+                 "path without touching the mpmath ladder.",
+                 lambda: (session.oracle.counters().fastpath_hits
+                          + session.stats.rival.fastpath_hits)),
         }
         for name, (help_text, fn) in gauges.items():
             METRICS.gauge_fn(name, fn, help_text)

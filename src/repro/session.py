@@ -64,7 +64,12 @@ from .core.pipeline import (
 )
 from .core.transcribe import Untranscribable
 from .cost.model import TargetCostModel
-from .deadline import DeadlineExceeded, check_deadline, deadline
+from .deadline import (
+    DeadlineExceeded,
+    check_deadline,
+    deadline,
+    deadline_suspended,
+)
 from .egraph.stats import EngineStats, engine_stats_sink
 from .exec.builder import BuildCache
 from .exec.executable import (
@@ -81,6 +86,7 @@ from .ir.printer import expr_to_sexpr
 from .obs.metrics import METRICS
 from .obs.trace import span
 from .perf.simulator import PerfSimulator
+from .rival.backends import OracleCounters, make_backend, resolve_backend_name
 from .rival.eval import RivalEvaluator
 from .service.api import JobSpec, _poolable, run_compile_jobs
 from .service.cache import (
@@ -137,6 +143,11 @@ class SessionStats:
     engine: EngineStats = field(default_factory=EngineStats)
     #: Oracle-lock wait vs hold time (see :class:`OracleStats`).
     oracle: OracleStats = field(default_factory=OracleStats)
+    #: Oracle-backend work folded back from pooled compiles (worker
+    #: evaluators' ``evals``/``escalations`` plus backend batch counters
+    #: shipped home on ``JobOutcome.oracle``) — the rival twin of
+    #: ``engine``, so ``/health`` oracle totals cover every process.
+    rival: OracleCounters = field(default_factory=OracleCounters)
 
     def as_dict(self) -> dict:
         return dataclasses.asdict(self)
@@ -199,10 +210,13 @@ class ChassisSession:
     ``jobs``/``timeout`` parameterize batch calls and the :meth:`submit`
     pool.  Sessions may be shared across threads (the serve front-end and
     :meth:`submit` do): mutable session state sits behind one lock, and
-    oracle-backed work — sampling and the pipeline itself — is serialized
-    behind another, because mpmath's working precision is process-global
-    state (``mp.workprec``); concurrent in-process compilations would race
-    on it.  True parallelism is process-level: :meth:`compile_many` and
+    mpmath-backed work is serialized behind another, because mpmath's
+    working precision is process-global state (``mp.workprec``);
+    concurrent in-process compilations would race on it.  Sampling now
+    batches through the session's oracle backend (``oracle_backend=`` /
+    ``REPRO_ORACLE_BACKEND``) and takes that lock only around mpmath
+    escalation-ladder runs; the pipeline itself still holds it (the
+    improvement loop drives the evaluator directly).  True parallelism is process-level: :meth:`compile_many` and
     registry-target :meth:`submit` jobs run on the session's persistent
     :class:`~repro.service.pool.WorkerPool`, whose workers stay warm
     across calls.  ``timeout`` bounds each compilation wherever it runs
@@ -218,6 +232,7 @@ class ChassisSession:
         jobs: int = 1,
         timeout: float | None = None,
         max_sample_entries: int = 256,
+        oracle_backend: str | None = None,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -229,9 +244,16 @@ class ChassisSession:
         self.jobs = jobs
         self.timeout = timeout
         self.evaluator = RivalEvaluator()
+        #: Resolved oracle-backend name: the ``oracle_backend=`` argument,
+        #: else ``REPRO_ORACLE_BACKEND``, else ``auto`` (the numpy fast
+        #: path).  Raises ValueError for unknown names.
+        self.oracle_backend = resolve_backend_name(oracle_backend)
         self.stats = SessionStats()
         self._lock = threading.RLock()
         # Serializes every mpmath-backed computation (see class docstring).
+        # Batched sampling no longer holds it wholesale: backends take it
+        # only around their mpmath escalation rung, via the "ladder"
+        # section below.
         self._oracle_lock = threading.RLock()
         #: Per-thread re-entrancy depth of :meth:`_oracle_section` — the
         #: lock is an RLock and sections nest (the pipeline runs inside
@@ -243,6 +265,21 @@ class ChassisSession:
         self._timings_local = threading.local()
         self._samples: OrderedDict[str, SampleSet] = OrderedDict()
         self._max_sample_entries = max_sample_entries
+        #: Per-fingerprint gates serializing duplicate *sampling* requests
+        #: (the global-lock dedup this replaces serialized all sampling).
+        self._sample_gates: dict[str, threading.Lock] = {}
+        #: The session's batched oracle backend.  It shares ``evaluator``
+        #: (whose counters stay authoritative for in-process work), takes
+        #: the oracle lock only around mpmath ladder runs, and — for the
+        #: ``pool`` backend — shards batches over the persistent worker
+        #: pool (degrading to in-process when ``jobs == 1``).
+        self.oracle = make_backend(
+            self.oracle_backend,
+            evaluator=self.evaluator,
+            lock=lambda: self._oracle_section("ladder"),
+            pool_provider=self.worker_pool,
+            config_provider=lambda: (self.config, self.sample_config),
+        )
         # Keyed by id() (targets are unhashable frozen objects); entries
         # are evicted by a weakref.finalize when their target dies, so a
         # long-lived session does not retain every Target it ever saw —
@@ -330,7 +367,10 @@ class ChassisSession:
                 self._oracle_local.depth = depth
             return
         wait_start = time.perf_counter()
-        with span("oracle.wait", section=label):
+        # Ladder sections are taken *inside* armed deadline regions (a
+        # backend escalating mid-sample); queueing behind another thread
+        # must stay budget-neutral, per the wait-vs-hold contract.
+        with span("oracle.wait", section=label), deadline_suspended():
             self._oracle_lock.acquire()
         waited = time.perf_counter() - wait_start
         self._oracle_local.depth = 1
@@ -400,21 +440,28 @@ class ChassisSession:
             return cached
         with self._lock:
             self.stats.sample_misses += 1
-        with self._oracle_section("sample"):
-            # A concurrent identical request may have sampled and cached
-            # this benchmark while we waited for the lock; re-checking
-            # beats re-running the oracle over every point.  (A contended
-            # duplicate therefore records one miss and one hit.)
+            gate = self._sample_gates.setdefault(key, threading.Lock())
+        # Sampling no longer holds the session oracle lock wholesale — the
+        # backend takes it only around mpmath ladder runs — so duplicate
+        # requests are deduplicated by a per-fingerprint gate instead: a
+        # concurrent identical request samples once, and the one that
+        # waited re-checks the cache.  (A contended duplicate therefore
+        # records one miss and one hit, as before.)
+        with gate:
             cached = self._sample_cache_get(key)
             if cached is not None:
                 return cached
             with deadline(self.timeout if timeout is None else timeout):
                 with span("phase.sample", benchmark=core.name or "<anonymous>"):
-                    samples = sample_core(core, sample_config, self.evaluator)
+                    samples = sample_core(
+                        core, sample_config, self.evaluator,
+                        oracle=self.oracle,
+                    )
         with self._lock:
             self._samples[key] = samples
             while len(self._samples) > self._max_sample_entries:
                 self._samples.popitem(last=False)
+            self._sample_gates.pop(key, None)
         return samples
 
     # --- single compilations --------------------------------------------------------
@@ -467,6 +514,7 @@ class ChassisSession:
                 config=config or self.config,
                 sample_config=sample_config,
                 evaluator=self.evaluator,
+                oracle=self.oracle,
                 core=core,
                 samples=samples,
             )
@@ -989,7 +1037,9 @@ class ChassisSession:
         Engine counters shipped back on ``JobOutcome.engine`` — from
         worker processes and inline batch jobs alike — merge into
         ``stats.engine``, closing the gap where pooled compiles did real
-        e-graph work that ``/health`` never saw.
+        e-graph work that ``/health`` never saw.  Oracle counters ride the
+        same road: each job's backend/evaluator work ships back on
+        ``JobOutcome.oracle`` and merges into ``stats.rival``.
         """
         known = {fld.name for fld in dataclasses.fields(EngineStats)}
         with self._lock:
@@ -1007,6 +1057,8 @@ class ChassisSession:
                         key: value for key, value in outcome.engine.items()
                         if key in known
                     }))
+                if outcome.oracle:
+                    self.stats.rival.merge(outcome.oracle)
 
     def compile_many(
         self,
@@ -1151,16 +1203,35 @@ class ChassisSession:
         totals folded back from pooled workers), persistent-cache stats,
         worker-pool state, and oracle activity (correctly-rounded
         evaluations plus lock wait-vs-hold)."""
+        backend = self.oracle.counters()
         with self._lock:
             stats = self.stats.as_dict()
+            folded = OracleCounters()
+            folded.merge(self.stats.rival)
+        # In-process backends share ``self.evaluator`` (their own
+        # ``evals`` stay zero); worker-side work arrives pre-folded in
+        # ``stats.rival`` — summing all three never double-counts.
         return {
             "ok": True,
             "stats": stats,
             "cache": self.cache.stats.as_dict() if self.cache else None,
             "pool": self.pool_info(),
             "oracle": {
-                "evals": self.evaluator.evals,
-                "escalations": self.evaluator.escalations,
+                "backend": self.oracle_backend,
+                "evals": self.evaluator.evals + backend.evals + folded.evals,
+                "escalations": (
+                    self.evaluator.escalations + backend.escalations
+                    + folded.escalations
+                ),
+                "batch_calls": backend.batch_calls + folded.batch_calls,
+                "batch_points": backend.batch_points + folded.batch_points,
+                "fastpath_hits": (
+                    backend.fastpath_hits + folded.fastpath_hits
+                ),
+                "escalated_points": (
+                    backend.escalated_points + folded.escalated_points
+                ),
+                "pool_chunks": backend.pool_chunks + folded.pool_chunks,
             },
         }
 

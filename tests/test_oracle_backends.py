@@ -1,0 +1,346 @@
+"""Backend-equivalence tests for the pluggable oracle subsystem.
+
+Every oracle backend is an *acceptance filter* over the same escalation-
+ladder semantics — never an approximation — so points, exact values and
+statuses must be bit-identical across ``numpy``, ``mpmath`` and ``pool``,
+and across ``jobs=1`` vs pooled execution.  These tests pin that contract
+on curated benchmarks, adversarial special points (signed zeros,
+infinities, NaN, overflow-scale magnitudes) and randomized generated
+expressions.
+"""
+
+import math
+import struct
+
+import pytest
+
+from repro.accuracy.sampler import SampleConfig, sample_core
+from repro.api import ChassisSession, CompileConfig
+from repro.benchsuite.generator import generate_core
+from repro.benchsuite.suite import core_named
+from repro.ir.parser import parse_expr
+from repro.ir.types import F32, F64
+from repro.obs.metrics import METRICS
+from repro.rival.backends import (
+    BACKEND_NAMES,
+    MpmathBackend,
+    NumpyBackend,
+    OracleCounters,
+    make_backend,
+    resolve_backend_name,
+)
+from repro.rival.eval import RivalEvaluator
+
+FAST = CompileConfig(iterations=1, localize_points=6, max_variants=12)
+SAMPLES = SampleConfig(n_train=8, n_test=8)
+
+SQRT_SUB = "(FPCore f (x) :pre (< 0.1 x 10) (- (sqrt (+ x 1)) (sqrt x)))"
+
+#: Curated benchmarks covering cancellation, transcendentals, domain
+#: errors (sqrt/log of negatives during sampling) and fabs preconditions.
+EQUIVALENCE_CORES = (
+    "sqrt-sub", "quad-minus", "cos-frac", "acoth", "expm1-naive",
+)
+
+#: Adversarial inputs: every sign/zero/inf/NaN corner plus magnitudes
+#: that overflow intermediates or underflow outward rounding.
+SPECIALS = (
+    0.0, -0.0, 1.0, -1.0, 0.5, 2.0, 1e300, -1e300, 1e-300, 5e-324,
+    -5e-324, 710.0, -745.0, math.inf, -math.inf, math.nan,
+    1.7976931348623157e308, 2.2250738585072014e-308,
+)
+
+REAL_EXPRS = (
+    "(- (sqrt (+ x 1)) (sqrt x))",
+    "(/ (sin x) x)",
+    "(log (+ 1 x))",
+    "(* x y)",
+    "(/ (+ x y) (- x y))",
+    "(hypot x y)",
+    "(pow x y)",
+    "(atan2 x y)",
+    "(fmod x y)",
+    "(if (< x y) (- y x) (- x y))",
+)
+
+BOOL_EXPRS = (
+    "(< 0.1 x 10)",
+    "(and (< 1e-12 (fabs x)) (< (fabs x) 100))",
+    "(or (< x 0) (> y 1))",
+    "(== x y)",
+    "(<= (sqrt x) y)",
+)
+
+
+def _bits(value: float) -> bytes:
+    return struct.pack("<d", value)
+
+
+def _key(result) -> tuple:
+    """Comparable identity of one PointResult (bit-exact for ok values)."""
+    return (result.status, _bits(result.value) if result.ok else None)
+
+
+def _fresh(name: str):
+    return make_backend(name, evaluator=RivalEvaluator())
+
+
+def _sample_key(samples) -> tuple:
+    points = tuple(
+        tuple(sorted((k, _bits(v)) for k, v in point.items()))
+        for point in samples.train + samples.test
+    )
+    exacts = tuple(_bits(v) for v in samples.train_exact + samples.test_exact)
+    return (points, exacts, samples.acceptance, len(samples.train))
+
+
+class TestBatchEquivalence:
+    """NumpyBackend vs the reference ladder, point by point."""
+
+    def _points(self, names):
+        points = [
+            {name: special for name in names} for special in SPECIALS
+        ]
+        points += [
+            dict(zip(names, combo))
+            for combo in zip(SPECIALS, reversed(SPECIALS))
+        ]
+        import random
+
+        rng = random.Random(7)
+        points += [
+            {name: rng.uniform(-50, 50) for name in names} for _ in range(40)
+        ]
+        return points
+
+    @pytest.mark.parametrize("source", REAL_EXPRS)
+    def test_real_exprs_bit_identical(self, source):
+        expr = parse_expr(source)
+        names = sorted(expr.free_vars())
+        points = self._points(names)
+        fast = _fresh("numpy")
+        reference = _fresh("mpmath")
+        got = fast.eval_batch(expr, points, F64)
+        want = reference.eval_batch(expr, points, F64)
+        assert [_key(r) for r in got] == [_key(r) for r in want]
+
+    @pytest.mark.parametrize("source", BOOL_EXPRS)
+    def test_bool_exprs_identical(self, source):
+        expr = parse_expr(source)
+        names = sorted(expr.free_vars())
+        points = self._points(names)
+        fast = _fresh("numpy")
+        reference = _fresh("mpmath")
+        got = fast.eval_bool_batch(expr, points)
+        want = reference.eval_bool_batch(expr, points)
+        assert [_key(r) for r in got] == [_key(r) for r in want]
+
+    def test_f32_rounding_matches(self):
+        expr = parse_expr("(- (sqrt (+ x 1)) (sqrt x))")
+        points = [{"x": 0.1 * i + 0.05} for i in range(64)]
+        got = _fresh("numpy").eval_batch(expr, points, F32)
+        want = _fresh("mpmath").eval_batch(expr, points, F32)
+        assert [_key(r) for r in got] == [_key(r) for r in want]
+
+    def test_unsupported_operator_agrees_with_ladder(self):
+        # `erf` has no vectorized implementation; the numpy backend must
+        # delegate the whole batch to the ladder, not reject it itself,
+        # so its results (and counters) track the reference exactly.
+        expr = parse_expr("(erf x)", known_ops={"erf"})
+        points = [{"x": 0.25 * i} for i in range(8)]
+        fast = _fresh("numpy")
+        got = fast.eval_batch(expr, points, F64)
+        want = _fresh("mpmath").eval_batch(expr, points, F64)
+        assert [_key(r) for r in got] == [_key(r) for r in want]
+        assert fast.counters().batch_points >= len(points)
+
+    def test_missing_variable_is_invalid_everywhere(self):
+        expr = parse_expr("(+ x y)")
+        points = [{"x": 1.0}] * 3
+        for name in ("numpy", "mpmath"):
+            results = _fresh(name).eval_batch(expr, points, F64)
+            assert [r.status for r in results] == ["invalid"] * 3
+
+
+class TestSamplerEquivalence:
+    """sample_core must be bit-identical for any backend choice."""
+
+    @pytest.mark.parametrize("name", EQUIVALENCE_CORES)
+    def test_curated_cores(self, name):
+        core = core_named(name)
+        config = SampleConfig(n_train=16, n_test=16)
+        reference = sample_core(core, config, oracle=_fresh("mpmath"))
+        fast = sample_core(core, config, oracle=_fresh("numpy"))
+        assert _sample_key(fast) == _sample_key(reference)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_generated_cores_property(self, seed):
+        core = generate_core(seed, n_vars=2, depth=4)
+        config = SampleConfig(n_train=12, n_test=12)
+        reference = sample_core(core, config, oracle=_fresh("mpmath"))
+        fast = sample_core(core, config, oracle=_fresh("numpy"))
+        assert _sample_key(fast) == _sample_key(reference)
+
+    def test_fastpath_actually_used(self):
+        core = core_named("sqrt-sub")
+        oracle = _fresh("numpy")
+        sample_core(core, SampleConfig(n_train=32, n_test=32), oracle=oracle)
+        counters = oracle.counters()
+        assert counters.batch_points > 0
+        assert counters.fastpath_hits > 0
+        assert (
+            counters.fastpath_hits + counters.escalated_points
+            == counters.batch_points
+        )
+
+
+class TestBackendSelection:
+    def test_auto_resolves_to_numpy(self):
+        assert resolve_backend_name("auto") == "numpy"
+        assert resolve_backend_name("NumPy") == "numpy"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown oracle backend"):
+            resolve_backend_name("cuda")
+
+    def test_environment_knob(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ORACLE_BACKEND", "mpmath")
+        assert resolve_backend_name() == "mpmath"
+        session = ChassisSession(config=FAST, sample_config=SAMPLES)
+        assert session.oracle_backend == "mpmath"
+        assert isinstance(session.oracle, MpmathBackend)
+
+    def test_argument_beats_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ORACLE_BACKEND", "mpmath")
+        session = ChassisSession(
+            config=FAST, sample_config=SAMPLES, oracle_backend="numpy"
+        )
+        assert session.oracle_backend == "numpy"
+        assert isinstance(session.oracle, NumpyBackend)
+
+    def test_session_rejects_unknown_backend(self):
+        with pytest.raises(ValueError):
+            ChassisSession(oracle_backend="quantum")
+
+    def test_all_names_constructible(self):
+        for name in BACKEND_NAMES:
+            backend = make_backend(name, evaluator=RivalEvaluator())
+            assert backend.name == name
+
+
+class TestSessionIntegration:
+    @pytest.mark.parametrize("backend", ("mpmath", "numpy"))
+    def test_compile_payload_identical_across_backends(self, backend):
+        reference = ChassisSession(
+            config=FAST, sample_config=SAMPLES, oracle_backend="mpmath"
+        )
+        other = ChassisSession(
+            config=FAST, sample_config=SAMPLES, oracle_backend=backend
+        )
+        want, _ = reference.compile_payload(SQRT_SUB, "c99")
+        got, _ = other.compile_payload(SQRT_SUB, "c99")
+        # Everything but wall-clock time must match byte for byte.
+        want.pop("elapsed"), got.pop("elapsed")
+        assert got == want
+
+    def test_health_reports_backend_and_counters(self):
+        session = ChassisSession(config=FAST, sample_config=SAMPLES)
+        session.compile(SQRT_SUB, "c99")
+        oracle = session.health()["oracle"]
+        assert oracle["backend"] == session.oracle_backend
+        assert oracle["evals"] > 0
+        assert oracle["batch_points"] > 0
+        assert oracle["fastpath_hits"] + oracle["escalated_points"] == (
+            oracle["batch_points"]
+        )
+
+    def test_batch_metrics_exposed(self):
+        session = ChassisSession(config=FAST, sample_config=SAMPLES)
+        session.samples_for(session.parse(SQRT_SUB))
+        text = METRICS.exposition()
+        assert "repro_oracle_batch_points" in text
+        assert "repro_oracle_fastpath_hits" in text
+        assert "repro_oracle_batch_size" in text
+
+
+class TestCounterFolding:
+    def test_outcome_counters_fold_into_stats(self):
+        session = ChassisSession(config=FAST, sample_config=SAMPLES)
+        specs = [(session.parse(SQRT_SUB), "c99")]
+        [outcome] = session.compile_many(specs)
+        assert outcome.ok
+        assert outcome.oracle is not None
+        assert outcome.oracle["evals"] > 0
+        assert session.stats.rival.evals == outcome.oracle["evals"]
+        # The per-job evaluator is separate from the session's; health
+        # must include the folded counts.
+        assert session.health()["oracle"]["evals"] >= outcome.oracle["evals"]
+
+    def test_merge_ignores_unknown_keys(self):
+        counters = OracleCounters()
+        counters.merge({"evals": 3, "from_the_future": 9})
+        assert counters.evals == 3 and counters.any()
+
+    def test_pooled_jobs_identical_to_serial(self):
+        serial = ChassisSession(
+            config=FAST, sample_config=SAMPLES, jobs=1
+        )
+        specs = [
+            (serial.parse(SQRT_SUB), "c99"),
+            (core_named("cos-frac"), "c99"),
+        ]
+        def scrub(payload):
+            return {k: v for k, v in payload.items() if k != "elapsed"}
+
+        want = [scrub(o.payload) for o in serial.compile_many(specs)]
+        with ChassisSession(
+            config=FAST, sample_config=SAMPLES, jobs=2
+        ) as pooled:
+            outcomes = pooled.compile_many(specs)
+            got = [scrub(o.payload) for o in outcomes]
+            assert got == want
+            assert any(o.oracle for o in outcomes)
+            assert pooled.stats.rival.evals > 0
+
+
+class TestPoolBackend:
+    def test_sharded_batch_bit_identical(self):
+        expr = parse_expr("(- (sqrt (+ x 1)) (sqrt x))")
+        import random
+
+        rng = random.Random(11)
+        points = [{"x": rng.uniform(0.0, 1e6)} for _ in range(300)]
+        want = [_key(r) for r in _fresh("mpmath").eval_batch(expr, points, F64)]
+        with ChassisSession(
+            config=FAST, sample_config=SAMPLES, jobs=2, oracle_backend="pool"
+        ) as session:
+            got = [
+                _key(r)
+                for r in session.oracle.eval_batch(expr, points, F64)
+            ]
+            assert got == want
+            counters = session.oracle.counters()
+            assert counters.pool_chunks >= 2
+            assert counters.batch_points == len(points)
+
+    def test_without_pool_degrades_to_fastpath(self):
+        # jobs=1 sessions have no worker pool; the pool backend must run
+        # everything in-process and still match the ladder.
+        session = ChassisSession(
+            config=FAST, sample_config=SAMPLES, jobs=1, oracle_backend="pool"
+        )
+        expr = parse_expr("(log (+ 1 x))")
+        points = [{"x": 0.5 * i} for i in range(80)]
+        got = [_key(r) for r in session.oracle.eval_batch(expr, points, F64)]
+        want = [
+            _key(r) for r in _fresh("mpmath").eval_batch(expr, points, F64)
+        ]
+        assert got == want
+
+    def test_small_batches_stay_in_process(self):
+        with ChassisSession(
+            config=FAST, sample_config=SAMPLES, jobs=2, oracle_backend="pool"
+        ) as session:
+            expr = parse_expr("(* x x)")
+            session.oracle.eval_batch(expr, [{"x": 2.0}] * 8, F64)
+            assert session.oracle.counters().pool_chunks == 0
