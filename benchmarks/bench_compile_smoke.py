@@ -19,9 +19,10 @@ With ``--append`` (the default points at the repo-root
 ``BENCH_egraph.json``) the run is recorded in the committed trajectory
 file: one entry per commit, keyed by ``git rev-parse HEAD``, carrying the
 compile-latency numbers plus the engine-throughput summary from
-``results/egraph_bench.json`` and the oracle-backend throughput summary
-from ``results/oracle_bench.json`` when ``bench_egraph.py`` /
-``bench_oracle.py`` ran first (as they do in CI).  Re-running on the
+``results/egraph_bench.json``, the oracle-backend throughput summary
+from ``results/oracle_bench.json``, and the narrow-format compile-quality
+summary from ``results/format_bench.json`` when ``bench_egraph.py`` /
+``bench_oracle.py`` / ``bench_formats.py`` ran first (as they do in CI).  Re-running on the
 same commit replaces that commit's entry, so the file stays
 one-row-per-commit under amended pushes.
 """
@@ -121,8 +122,10 @@ def append_trajectory(path: Path, record: dict) -> None:
                 "Per-commit performance trajectory: compile-latency smoke "
                 "(benchmarks/bench_compile_smoke.py) plus the e-graph "
                 "engine-throughput summary (benchmarks/bench_egraph.py "
-                "--smoke) and the oracle-backend throughput summary "
-                "(benchmarks/bench_oracle.py --smoke).  Appended by CI; "
+                "--smoke), the oracle-backend throughput summary "
+                "(benchmarks/bench_oracle.py --smoke), and the "
+                "narrow-format fp16/bf16 compile-quality summary "
+                "(benchmarks/bench_formats.py).  Appended by CI; "
                 "one entry per commit."
             ),
             "runs": [],
@@ -152,6 +155,11 @@ def main(argv=None) -> int:
         default=str(ROOT / "results" / "oracle_bench.json"),
         help="bench_oracle.py output to fold into the trajectory entry",
     )
+    parser.add_argument(
+        "--format-results",
+        default=str(ROOT / "results" / "format_bench.json"),
+        help="bench_formats.py output to fold into the trajectory entry",
+    )
     args = parser.parse_args(argv)
 
     rows = measure(args.target)
@@ -177,6 +185,20 @@ def main(argv=None) -> int:
         oracle_payload = json.loads(oracle_path.read_text())
         oracle_summary = oracle_payload.get("summary")
 
+    # Per-format compile quality (bench_formats.py): keep only the compact
+    # per-format summaries, not the per-benchmark rows.
+    format_summary = None
+    format_path = Path(args.format_results)
+    if format_path.exists():
+        format_payload = json.loads(format_path.read_text())
+        format_summary = {
+            name: {
+                "mean_best_error_bits": data.get("mean_best_error_bits"),
+                "all_validated": data.get("all_validated"),
+            }
+            for name, data in format_payload.get("formats", {}).items()
+        }
+
     if args.append:
         record = {
             "commit": git_head(),
@@ -189,6 +211,7 @@ def main(argv=None) -> int:
             },
             "engine": engine_summary,
             "oracle": oracle_summary,
+            "formats": format_summary,
         }
         path = Path(args.append)
         append_trajectory(path, record)

@@ -15,21 +15,11 @@ import random
 from dataclasses import dataclass, field
 
 from ..deadline import check_deadline
+from ..formats import FloatFormat, get_format
 from ..ir.fpcore import FPCore
-from ..ir.types import F32, F64
 from ..rival.eval import RivalEvaluator
-from .ulp import (
-    float32_to_ordinal,
-    float64_to_ordinal,
-    ordinal_to_float32,
-    ordinal_to_float64,
-)
 
 Point = dict[str, float]
-
-#: Largest ordinal for each format (finite values only).
-_MAX_ORDINAL_F64 = (0x7FE << 52) | 0xFFFFFFFFFFFFF  # largest finite double
-_MAX_ORDINAL_F32 = (0xFE << 23) | 0x7FFFFF
 
 
 @dataclass
@@ -60,12 +50,9 @@ class SamplingError(RuntimeError):
     """Too few valid points could be found for a benchmark."""
 
 
-def _random_float(rng: random.Random, ty: str) -> float:
-    if ty == F32:
-        ordinal = rng.randint(-_MAX_ORDINAL_F32, _MAX_ORDINAL_F32)
-        return ordinal_to_float32(ordinal)
-    ordinal = rng.randint(-_MAX_ORDINAL_F64, _MAX_ORDINAL_F64)
-    return ordinal_to_float64(ordinal)
+def _random_float(rng: random.Random, ty) -> float:
+    fmt = get_format(ty)
+    return fmt.from_ordinal(rng.randint(-fmt.max_ordinal, fmt.max_ordinal))
 
 
 @dataclass
@@ -135,31 +122,32 @@ def _collect_ranges(pre, arguments: tuple[str, ...]) -> dict[str, _VarRange]:
     return ranges
 
 
-def _ordinal_bounds(value_lo: float, value_hi: float, ty: str) -> tuple[int, int]:
-    to_ordinal = float32_to_ordinal if ty == F32 else float64_to_ordinal
-    max_ordinal = _MAX_ORDINAL_F32 if ty == F32 else _MAX_ORDINAL_F64
-    lo = -max_ordinal if math.isinf(value_lo) else to_ordinal(value_lo)
-    hi = max_ordinal if math.isinf(value_hi) else to_ordinal(value_hi)
+def _ordinal_bounds(
+    value_lo: float, value_hi: float, fmt: FloatFormat
+) -> tuple[int, int]:
+    lo = -fmt.max_ordinal if math.isinf(value_lo) else fmt.to_ordinal(value_lo)
+    hi = fmt.max_ordinal if math.isinf(value_hi) else fmt.to_ordinal(value_hi)
     return min(lo, hi), max(lo, hi)
 
 
-def _random_in_range(rng: random.Random, rang: _VarRange, ty: str) -> float:
+def _random_in_range(
+    rng: random.Random, rang: _VarRange, fmt: FloatFormat
+) -> float:
     """Ordinal-uniform draw inside a variable's derived region."""
-    from_ordinal = ordinal_to_float32 if ty == F32 else ordinal_to_float64
     if rang.mag_lo > 0.0 or rang.mag_hi < math.inf:
         # Sample a magnitude, then a sign compatible with [lo, hi].
         mag_hi = min(rang.mag_hi, max(abs(rang.lo), abs(rang.hi)))
-        lo_o, hi_o = _ordinal_bounds(max(rang.mag_lo, 0.0), mag_hi, ty)
+        lo_o, hi_o = _ordinal_bounds(max(rang.mag_lo, 0.0), mag_hi, fmt)
         lo_o = max(lo_o, 0)
-        magnitude = from_ordinal(rng.randint(lo_o, max(lo_o, hi_o)))
+        magnitude = fmt.from_ordinal(rng.randint(lo_o, max(lo_o, hi_o)))
         signs = []
         if rang.hi > 0:
             signs.append(1.0)
         if rang.lo < 0:
             signs.append(-1.0)
         return magnitude * rng.choice(signs or [1.0])
-    lo_o, hi_o = _ordinal_bounds(rang.lo, rang.hi, ty)
-    return from_ordinal(rng.randint(lo_o, hi_o))
+    lo_o, hi_o = _ordinal_bounds(rang.lo, rang.hi, fmt)
+    return fmt.from_ordinal(rng.randint(lo_o, hi_o))
 
 
 def sample_core(
@@ -191,6 +179,7 @@ def sample_core(
     rng = random.Random(config.seed)
     wanted = config.n_train + config.n_test
     ranges = _collect_ranges(core.pre, core.arguments)
+    fmt = get_format(core.precision)
 
     points: list[Point] = []
     exacts: list[float] = []
@@ -200,7 +189,7 @@ def sample_core(
         check_deadline()  # the backends poll too, per batch or per point
         candidates = [
             {
-                name: _random_in_range(rng, ranges[name], core.precision)
+                name: _random_in_range(rng, ranges[name], fmt)
                 for name in core.arguments
             }
             for _ in range(batch_size)

@@ -5,6 +5,7 @@ from __future__ import annotations
 import math
 from typing import Mapping, Sequence
 
+from ..formats import get_format
 from ..fpeval.machine import compile_expr
 from ..ir.expr import Expr
 from ..ir.types import F64
@@ -50,7 +51,7 @@ def score_program(
     try:
         evaluator = compile_expr(program, target.impl_registry(), ty)
     except KeyError:
-        return float(64 if ty == F64 else 32)
+        return float(get_format(ty).bits)
     total = 0.0
     for point, exact in zip(points, exact_values):
         try:

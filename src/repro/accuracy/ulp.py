@@ -5,67 +5,67 @@ the computed result and the correctly-rounded true result (paper section
 6.2: accuracy is ``p - log2(ULPs)`` where ``p`` is the output precision).
 The ordinal encoding maps floats onto consecutive integers so that the ULP
 distance is an integer subtraction.
+
+The codec itself lives on :class:`~repro.formats.FloatFormat` — one
+implementation per registered format, shared with the sampler's
+ordinal-uniform draws so the two can never drift.  The ``ty`` arguments
+below accept a format name or a :class:`FloatFormat`.
 """
 
 from __future__ import annotations
 
 import math
-import struct
 
-import numpy as np
+from ..formats import get_format
+from ..ir.types import F64
 
-from ..ir.types import F32, F64, TYPE_BITS
+_F64 = get_format("binary64")
+_F32 = get_format("binary32")
 
 
 def float64_to_ordinal(x: float) -> int:
     """Map a binary64 value to an integer preserving numeric order."""
-    (bits,) = struct.unpack("<q", struct.pack("<d", x))
-    return bits if bits >= 0 else -(bits & 0x7FFFFFFFFFFFFFFF)
+    return _F64.to_ordinal(x)
 
 
 def ordinal_to_float64(n: int) -> float:
     """Inverse of :func:`float64_to_ordinal`."""
-    bits = n if n >= 0 else (-n) | (1 << 63)
-    (value,) = struct.unpack("<d", struct.pack("<Q", bits & 0xFFFFFFFFFFFFFFFF))
-    return value
+    return _F64.from_ordinal(n)
 
 
 def float32_to_ordinal(x: float) -> int:
     """Map a binary32 value (as an f32-representable float) to an ordinal."""
-    (bits,) = struct.unpack("<i", struct.pack("<f", np.float32(x)))
-    return bits if bits >= 0 else -(bits & 0x7FFFFFFF)
+    return _F32.to_ordinal(x)
 
 
 def ordinal_to_float32(n: int) -> float:
     """Inverse of :func:`float32_to_ordinal`."""
-    bits = n if n >= 0 else (-n) | (1 << 31)
-    (value,) = struct.unpack("<f", struct.pack("<I", bits & 0xFFFFFFFF))
-    return float(value)
+    return _F32.from_ordinal(n)
 
 
-def ulps_between(a: float, b: float, ty: str = F64) -> int:
+def ulps_between(a: float, b: float, ty=F64) -> int:
     """Number of representable values between ``a`` and ``b`` in format ``ty``.
 
     NaN compared with anything (including NaN-vs-non-NaN mismatch) yields
     the worst case.  NaN vs NaN is a perfect match (both "error"), per the
     operators-return-NaN-on-error semantics.
     """
+    fmt = get_format(ty)
     a_nan, b_nan = math.isnan(a), math.isnan(b)
     if a_nan and b_nan:
         return 0
     if a_nan or b_nan:
-        return 1 << TYPE_BITS[ty]
-    if ty == F32:
-        return abs(float32_to_ordinal(a) - float32_to_ordinal(b))
-    return abs(float64_to_ordinal(a) - float64_to_ordinal(b))
+        return 1 << fmt.bits
+    return abs(fmt.to_ordinal(a) - fmt.to_ordinal(b))
 
 
-def bits_of_error(approx: float, exact: float, ty: str = F64) -> float:
-    """``log2`` of the ULP distance: 0 = correctly rounded, 64 = garbage."""
-    ulps = ulps_between(approx, exact, ty)
-    return min(float(TYPE_BITS[ty]), math.log2(ulps + 1))
+def bits_of_error(approx: float, exact: float, ty=F64) -> float:
+    """``log2`` of the ULP distance: 0 = correctly rounded, ``bits`` = garbage."""
+    fmt = get_format(ty)
+    ulps = ulps_between(approx, exact, fmt)
+    return min(float(fmt.bits), math.log2(ulps + 1))
 
 
-def accuracy_bits(approx: float, exact: float, ty: str = F64) -> float:
+def accuracy_bits(approx: float, exact: float, ty=F64) -> float:
     """Bits of accuracy: ``p - log2(ULPs)`` as reported in the paper."""
-    return TYPE_BITS[ty] - bits_of_error(approx, exact, ty)
+    return get_format(ty).bits - bits_of_error(approx, exact, ty)

@@ -1,5 +1,7 @@
-"""Benchmark corpus: curated Herbie-style FPCores plus a seeded generator."""
+"""Benchmark corpus: curated Herbie-style FPCores, a seeded generator, and
+an FPBench importer for external ``.fpcore`` suites."""
 
+from .fpbench import filter_cores, import_fpbench, import_fpcores_text
 from .generator import generate_core, generate_suite
 from .suite import core_named, curated_suite, suite, suite_names
 
@@ -10,4 +12,7 @@ __all__ = [
     "suite_names",
     "generate_core",
     "generate_suite",
+    "filter_cores",
+    "import_fpbench",
+    "import_fpcores_text",
 ]

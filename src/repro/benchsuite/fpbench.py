@@ -1,0 +1,177 @@
+"""FPBench corpus importer: grow the benchsuite beyond the curated set.
+
+The FPBench project ships hundreds of ``.fpcore`` benchmark files (and
+Herbie's full 547-benchmark suite is FPCore text too).  This module imports
+such files into the reproduction's suite the way FPBench's own tooling
+does it — *filter, don't crash*: every core the pipeline cannot handle
+(loops, tensors, an unregistered ``:precision``, operators outside the
+real-operator vocabulary) is **skipped with a recorded reason**, and
+everything else parses into ordinary :class:`~repro.ir.fpcore.FPCore`
+benchmarks ready for :meth:`~repro.session.ChassisSession.compile`.
+
+Two layers, mirroring FPBench's ``filter.rkt`` idiom:
+
+* :func:`import_fpbench` / :func:`import_fpcores_text` — syntactic
+  admission.  Each top-level form is parsed *individually* (one malformed
+  core must not take down the file) and failures become
+  :class:`SkippedCore` rows carrying the parser's reason.
+* :func:`filter_cores` — semantic selection over already-parsed cores
+  (by operator set, argument count, precision, precondition presence),
+  again returning both the kept cores and the per-core skip reasons.
+
+Unknown ``:precision`` names are a *registry* question, not a parser one:
+registering a format (``repro.formats.register_format`` or
+``$REPRO_FORMATS``) makes previously-skipped cores importable with no
+change here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from ..formats import UnknownFormatError
+from ..ir.fpcore import FPCore, fpcore_from_sexpr
+from ..ir.parser import ParseError, parse_sexprs
+
+
+@dataclass(frozen=True)
+class SkippedCore:
+    """One core the importer could not admit, and the reason why."""
+
+    name: str
+    reason: str
+    source_file: str = ""
+
+    def __str__(self) -> str:
+        where = f" ({self.source_file})" if self.source_file else ""
+        return f"{self.name or '<unnamed>'}{where}: {self.reason}"
+
+
+@dataclass
+class ImportReport:
+    """What an import (or filter) pass admitted and what it skipped."""
+
+    cores: list[FPCore] = field(default_factory=list)
+    skipped: list[SkippedCore] = field(default_factory=list)
+
+    def extend(self, other: "ImportReport") -> None:
+        self.cores.extend(other.cores)
+        self.skipped.extend(other.skipped)
+
+    def summary(self) -> str:
+        """One line for logs: ``imported 412 cores, skipped 23``."""
+        return f"imported {len(self.cores)} cores, skipped {len(self.skipped)}"
+
+
+def _sexpr_name(sx) -> str:
+    """Best-effort benchmark name from a raw (possibly bad) FPCore form."""
+    if not isinstance(sx, list):
+        return ""
+    if len(sx) >= 2 and isinstance(sx[1], str) and sx[1] != "FPCore":
+        candidate = sx[1]
+        if not candidate.startswith("(") and not candidate.startswith(":"):
+            return candidate
+    for i, item in enumerate(sx):
+        if item == ":name" and i + 1 < len(sx) and isinstance(sx[i + 1], str):
+            return sx[i + 1].strip('"')
+    return ""
+
+
+def import_fpcores_text(
+    text: str, source_file: str = "", known_ops=None
+) -> ImportReport:
+    """Import every FPCore form in one source text, skipping bad ones.
+
+    Unlike :func:`~repro.ir.fpcore.parse_fpcores` (which raises on the
+    first problem), each top-level form is admitted or skipped on its own:
+    a core using ``while`` loops or ``:precision binary80`` becomes a
+    :class:`SkippedCore` with the parser's reason, and its neighbors still
+    import.
+    """
+    report = ImportReport()
+    try:
+        forms = parse_sexprs(text)
+    except ParseError as error:
+        # Unbalanced text: nothing inside is recoverable form-by-form.
+        report.skipped.append(
+            SkippedCore("", f"unparseable file: {error}", source_file)
+        )
+        return report
+    for sx in forms:
+        name = _sexpr_name(sx)
+        try:
+            report.cores.append(fpcore_from_sexpr(sx, known_ops))
+        except UnknownFormatError as error:
+            report.skipped.append(SkippedCore(name, str(error), source_file))
+        except ParseError as error:
+            report.skipped.append(SkippedCore(name, str(error), source_file))
+    return report
+
+
+def import_fpbench(
+    path: str | Path, known_ops=None, pattern: str = "*.fpcore"
+) -> ImportReport:
+    """Import an FPBench-style benchmark file or directory of them.
+
+    A directory is scanned for ``pattern`` files (sorted, so imports are
+    deterministic); a single file imports directly.  The report aggregates
+    admitted cores and skip reasons across all files.
+    """
+    root = Path(path)
+    if root.is_dir():
+        files = sorted(root.glob(pattern))
+        if not files:
+            raise FileNotFoundError(f"no {pattern} files under {root}")
+    elif root.is_file():
+        files = [root]
+    else:
+        raise FileNotFoundError(f"no such file or directory: {root}")
+    report = ImportReport()
+    for file in files:
+        report.extend(
+            import_fpcores_text(
+                file.read_text(), source_file=str(file), known_ops=known_ops
+            )
+        )
+    return report
+
+
+def filter_cores(
+    cores: Iterable[FPCore],
+    *,
+    operators: set[str] | None = None,
+    max_arguments: int | None = None,
+    precisions: set[str] | None = None,
+    require_pre: bool = False,
+) -> ImportReport:
+    """Select cores the way FPBench's filter tool does, reasons included.
+
+    Every criterion that rejects a core names itself in the skip reason
+    (``operators: uses {'tan'}``), so a corpus report can say exactly why
+    the suite is the size it is.
+    """
+    report = ImportReport()
+    for core in cores:
+        reason = None
+        if operators is not None:
+            used = core.body.operators()
+            extra = used - operators
+            if extra:
+                reason = f"operators: uses {sorted(extra)}"
+        if reason is None and max_arguments is not None:
+            if len(core.arguments) > max_arguments:
+                reason = (
+                    f"arguments: {len(core.arguments)} > {max_arguments}"
+                )
+        if reason is None and precisions is not None:
+            if core.precision not in precisions:
+                reason = f"precision: {core.precision} not in {sorted(precisions)}"
+        if reason is None and require_pre and core.pre is None:
+            reason = "no :pre precondition (unbounded sampling domain)"
+        if reason is None:
+            report.cores.append(core)
+        else:
+            report.skipped.append(SkippedCore(core.name, reason))
+    return report

@@ -47,6 +47,7 @@ from .benchsuite import core_named
 from .core.loop import CompileConfig
 from .core.output import render, to_fpcore
 from .experiments.report import targets_table
+from .formats import UnknownFormatError
 from .ir.fpcore import parse_fpcores
 from .ir.printer import expr_to_infix
 from .session import ChassisSession
@@ -71,7 +72,12 @@ def _read_cores(source: str, known_ops=None):
                     f"no such file or benchmark: {source} "
                     f"(suite starts: {known}, ...)"
                 ) from None
-    return parse_fpcores(text, known_ops)
+    try:
+        return parse_fpcores(text, known_ops)
+    except UnknownFormatError as error:
+        # A bad :precision is a user typo, not a crash: name the format and
+        # the registered alternatives instead of dumping a traceback.
+        raise SystemExit(f"error: {error}") from None
 
 
 def _cmd_targets(args) -> int:

@@ -11,10 +11,10 @@ from __future__ import annotations
 import keyword
 import re
 
+from ..formats import get_format
 from ..ir.expr import App, Const, Expr, Num, Var
 from ..ir.fpcore import FPCore
 from ..ir.printer import expr_to_sexpr, format_fraction
-from ..ir.types import F32
 from ..targets.target import Target
 
 _C_INFIX = {"add": "+", "sub": "-", "mul": "*", "div": "/"}
@@ -95,7 +95,13 @@ def _base_and_suffix(op_name: str) -> tuple[str, str]:
 
 def to_c(program: Expr, core: FPCore, target: Target, fn_name: str = "") -> str:
     """Render a float program as a C function."""
-    ty = "float" if core.precision == F32 else "double"
+    fmt = get_format(core.precision)
+    if fmt.c_type is None:
+        raise ValueError(
+            f"format {fmt.name} has no C scalar type; "
+            f"use a Python-emitting target for it"
+        )
+    ty = fmt.c_type
     fn_name = fn_name or sanitize_identifier(core.name)
     renames = _argument_renames(core)
     args = ", ".join(f"{ty} {renames[a]}" for a in core.arguments)
@@ -114,7 +120,7 @@ def _c_expr(expr: Expr, prec: str) -> str:
         if "/" in literal:
             num, den = literal.split("/")
             return f"({num}.0 / {den}.0)"
-        suffix = "f" if prec == F32 else ""
+        suffix = get_format(prec).c_literal_suffix
         return literal + (".0" if "." not in literal and "e" not in literal else "") + suffix
     if isinstance(expr, Const):
         return {"PI": "M_PI", "E": "M_E", "INFINITY": "INFINITY", "NAN": "NAN"}[expr.name]
@@ -136,7 +142,7 @@ def _c_expr(expr: Expr, prec: str) -> str:
     if base == "neg":
         return f"(-{args[0]})"
     if base == "cast":
-        return f"(({'float' if suffix == 'f32' else 'double'}){args[0]})"
+        return f"(({get_format(suffix).c_type or 'double'}){args[0]})"
     f = "f" if suffix == "f32" else ""
     # The fused-multiply variants have no libm entry points of their own,
     # but all are exactly C's (correctly rounded) fma with sign flips:
@@ -184,6 +190,12 @@ def _py_expr(expr: Expr) -> str:
         return f"(not {parts[0]})" if expr.op == "not" else f"({parts[0]} {expr.op} {parts[1]})"
     base, suffix = _base_and_suffix(expr.op)
     args = [_py_expr(a) for a in expr.args]
+    if suffix not in ("", "f32", "f64"):
+        # Narrow formats have no native Python arithmetic: every operator
+        # routes through its linked implementation (math.add_bf16, ...) so
+        # each step rounds into the format.  The f32/f64 paths below keep
+        # their historical infix/``math.<fn>`` emission.
+        return f"math.{base}_{suffix}({', '.join(args)})"
     if base in _C_INFIX:
         return f"({args[0]} {_C_INFIX[base]} {args[1]})"
     if base == "neg":

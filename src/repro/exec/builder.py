@@ -41,7 +41,7 @@ import time
 from pathlib import Path
 
 from ..deadline import check_deadline, remaining
-from ..ir.types import F32
+from ..formats import get_format
 from ..obs.metrics import METRICS
 from ..obs.trace import span
 
@@ -279,9 +279,10 @@ def load_function(
 ):
     """Load one emitted function from a built shared library.
 
-    ``arg_types``/``ret_type`` are float format names (``binary32`` /
-    ``binary64``); the ctypes signature is derived from them so binary32
-    programs round-trip through real C ``float``.
+    ``arg_types``/``ret_type`` are registered float format names; the
+    ctypes signature is derived from each format's C scalar type so
+    binary32 programs round-trip through real C ``float``.  Formats with
+    no C type never reach here (``to_c`` refuses to emit them).
     """
     try:
         lib = ctypes.CDLL(os.fspath(lib_path))
@@ -293,7 +294,11 @@ def load_function(
         raise BuildError(
             f"built library exports no symbol {fn_name!r}"
         ) from None
-    ctype = {F32: ctypes.c_float}
-    fn.argtypes = [ctype.get(ty, ctypes.c_double) for ty in arg_types]
-    fn.restype = ctype.get(ret_type, ctypes.c_double)
+    ctype = {"float": ctypes.c_float, "double": ctypes.c_double}
+
+    def resolve(ty: str):
+        return ctype.get(get_format(ty).c_type or "double", ctypes.c_double)
+
+    fn.argtypes = [resolve(ty) for ty in arg_types]
+    fn.restype = resolve(ret_type)
     return fn

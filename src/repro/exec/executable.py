@@ -109,6 +109,9 @@ def backend_availability(target: Target) -> dict:
     ``backends`` says which empirical execution backends can run them on
     *this* machine right now: the C backend needs the target to emit C and
     a compiler to exist; the Python backend is always available.
+    ``formats`` are the registered number formats the target declares
+    operators for (its ``literal_costs`` keys) — the formats its programs
+    can be compiled, emitted, and executed in.
     """
     languages = []
     for language in (target.output_format, "python", "fpcore"):
@@ -116,6 +119,7 @@ def backend_availability(target: Target) -> dict:
             languages.append(language)
     return {
         "languages": languages,
+        "formats": list(target.float_types()),
         "backends": {
             "c": bool(target.output_format == "c" and c_backend_available()),
             "python": True,

@@ -21,7 +21,7 @@ from ..core.candidates import ParetoFrontier
 from ..core.loop import CompileConfig
 from ..core.transcribe import Untranscribable
 from ..ir.fpcore import FPCore
-from ..ir.types import TYPE_BITS
+from ..formats import get_format
 from ..perf.simulator import PerfSimulator
 from ..service.cache import CompileCache, core_fingerprint
 from ..session import ChassisSession
@@ -94,7 +94,7 @@ class ExperimentConfig:
 
 
 def _accuracy_bits(error: float, precision: str) -> float:
-    return TYPE_BITS[precision] - error
+    return get_format(precision).bits - error
 
 
 def _runtime(simulator: PerfSimulator, program, samples: SampleSet, precision: str) -> float:

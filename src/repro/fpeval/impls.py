@@ -209,3 +209,35 @@ def cast_to_f32(a: float) -> float:
 def cast_to_f64(a: float) -> float:
     """Promote binary32 -> binary64 (exact)."""
     return a
+
+
+# --- generic narrow-format wrappers ----------------------------------------------
+
+
+def format_of(fn64, fmt):
+    """Build a narrow-format version of a binary64 op: compute wide, round once.
+
+    The narrow-format twin of :func:`f32_of`, parameterized by a
+    :class:`~repro.formats.FloatFormat`: inputs are assumed already
+    representable in ``fmt``, the operation computes in binary64, and the
+    result rounds into the format with the same compound rounding the
+    oracle stack uses (``FloatFormat.round_float``).
+    """
+    round_float = fmt.round_float
+
+    def fmt_fn(*args: float) -> float:
+        return round_float(fn64(*args))
+
+    fmt_fn.__name__ = f"{fn64.__name__}_{fmt.suffix}"
+    return fmt_fn
+
+
+def cast_into(fmt):
+    """A demoting cast (binary64 -> ``fmt``), named for the MathLink."""
+    round_float = fmt.round_float
+
+    def cast_fn(a: float) -> float:
+        return round_float(a)
+
+    cast_fn.__name__ = f"cast_{fmt.suffix}"
+    return cast_fn

@@ -15,6 +15,7 @@ from __future__ import annotations
 import math
 from typing import Callable, Mapping, Protocol
 
+from ..formats import get_format
 from ..ir.expr import App, Const, Expr, Num, Var
 from ..ir.types import F32, F64
 from .impls import to_f32
@@ -40,7 +41,11 @@ def round_literal(value, ty: str) -> float:
         as_float = float(value)
     except OverflowError:
         as_float = math.inf if value > 0 else -math.inf
-    return to_f32(as_float) if ty == F32 else as_float
+    if ty == F64:
+        return as_float
+    if ty == F32:
+        return to_f32(as_float)
+    return get_format(ty).round_float(as_float)
 
 
 _CONST_VALUES = {"PI": math.pi, "E": math.e, "INFINITY": math.inf, "NAN": math.nan}
@@ -76,7 +81,7 @@ def compile_expr(
         raw = _CONST_VALUES.get(expr.name)
         if raw is None:
             raise UnsupportedOperator(f"constant {expr.name} in value position")
-        value = to_f32(raw) if expected_ty == F32 else raw
+        value = raw if expected_ty == F64 else round_literal(raw, expected_ty)
         return lambda point: value
     assert isinstance(expr, App)
     if expr.op == "if":

@@ -9,7 +9,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..ir.types import F64, is_float_type
+from ..formats import get_format
+from ..ir.types import F64
 from .expr import Expr
 from .parser import ParseError, expr_from_sexpr, parse_sexpr, parse_sexprs
 from .printer import expr_to_sexpr
@@ -27,8 +28,12 @@ class FPCore:
     properties: dict = field(default_factory=dict, compare=False)
 
     def __post_init__(self):
-        if not is_float_type(self.precision):
-            raise ValueError(f"bad FPCore precision: {self.precision!r}")
+        # Canonicalize the precision through the format registry so alias
+        # spellings (f64, float16, ...) compare and fingerprint uniformly;
+        # unknown names raise UnknownFormatError listing what exists.
+        fmt = get_format(self.precision)
+        if fmt.name != self.precision:
+            object.__setattr__(self, "precision", fmt.name)
         unknown = self.body.free_vars() - set(self.arguments)
         if unknown:
             raise ValueError(f"unbound variables in body: {sorted(unknown)}")

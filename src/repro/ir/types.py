@@ -2,18 +2,27 @@
 
 Chassis works over *mixed* real/float expressions (paper section 5.1).  Every
 operator in the IR has a type drawn from this module: the mathematical
-``REAL`` type for pure real-number operators, and concrete IEEE-754 formats
-(``binary32``/``binary64``) for target operators.
+``REAL`` type for pure real-number operators, and concrete float formats
+for target operators.  Float types are *names into the format registry*
+(:mod:`repro.formats`): ``binary32``/``binary64`` are the IEEE built-ins,
+and any registered format (``fp16``, ``bf16``, ``REPRO_FORMATS`` customs)
+is equally a valid operator type.  The legacy ``TYPE_*`` dicts are kept
+for back-compat but cover only the two IEEE formats — new code should
+resolve ``get_format(ty)`` and read the descriptor.
 """
 
 from __future__ import annotations
+
+from ..formats import get_format, is_known_format
+from ..formats.registry import UnknownFormatError
 
 REAL = "real"
 F32 = "binary32"
 F64 = "binary64"
 BOOL = "bool"
 
-#: All floating-point formats supported by built-in targets.
+#: The two IEEE formats every built-in target supports (legacy constant;
+#: the full set lives in the format registry).
 FLOAT_TYPES = (F32, F64)
 
 #: Number of bits in the encoding of each float format.  Used as the maximum
@@ -29,12 +38,25 @@ TYPE_EXPONENT_RANGE = {F32: (-126, 127), F64: (-1022, 1023)}
 
 
 def is_float_type(ty: str) -> bool:
-    """Return True when ``ty`` names a concrete IEEE-754 format."""
-    return ty in TYPE_BITS
+    """Return True when ``ty`` names a registered float format."""
+    return ty not in (REAL, BOOL) and is_known_format(ty)
 
 
 def check_float_type(ty: str) -> str:
     """Validate that ``ty`` is a float format, returning it unchanged."""
     if not is_float_type(ty):
-        raise ValueError(f"not a floating-point type: {ty!r}")
+        raise UnknownFormatError(
+            ty, tuple(fmt.name for fmt in _registered())
+        )
     return ty
+
+
+def _registered():
+    from ..formats import registered_formats
+
+    return registered_formats()
+
+
+def float_format(ty: str):
+    """Resolve a type name to its :class:`~repro.formats.FloatFormat`."""
+    return get_format(ty)

@@ -42,6 +42,7 @@ import numpy as np
 from mpmath import mp, mpf
 
 from ...deadline import check_deadline
+from ...formats import UnknownFormatError, get_format
 from ...ir.expr import App, Const, Expr, Num, Var
 from ...ir.types import F32, F64
 from .base import (
@@ -68,11 +69,14 @@ _E_STR = "2.71828182845904523536028747135266249775724709369995957497"
 
 
 class _Format:
-    """Per-target-format dtype, margins, and rounding parameters."""
+    """Per-target-format compute dtype, margins, and rounding parameters."""
 
-    def __init__(self, dtype, target_bits: int):
+    def __init__(self, dtype, target_bits: int, storage_cast=None):
         self.dtype = dtype
         self.target_bits = target_bits
+        #: Vectorized storage cast of the target FloatFormat (None for the
+        #: legacy f32/f64 paths, which pick their cast by target_bits).
+        self.storage_cast = storage_cast
         eps = np.finfo(dtype).eps
         # Endpoint arithmetic (and sqrt) is correctly rounded (1/2 ulp
         # per step, at most a couple of steps before widening); libm
@@ -117,7 +121,27 @@ def _format_for(ty: str) -> _Format | None:
             elif ty == F32:
                 _FORMATS[ty] = _Format(np.float64, 24)
             else:
-                _FORMATS[ty] = None
+                # Any other registered format narrower than binary64 gets
+                # the float64 compute path (>= 29 bits of headroom over
+                # the widest sub-f32 significand) with the format's own
+                # vectorized storage cast; formats with no vectorized
+                # cast — and unknown names — stand down to the ladder.
+                try:
+                    target = get_format(ty)
+                except UnknownFormatError:
+                    target = None
+                if (
+                    target is not None
+                    and target.precision <= 24
+                    and target.numpy_storage_cast(np.zeros(1)) is not None
+                ):
+                    _FORMATS[ty] = _Format(
+                        np.float64,
+                        target.precision,
+                        storage_cast=target.numpy_storage_cast,
+                    )
+                else:
+                    _FORMATS[ty] = None
         return _FORMATS[ty]
 
 
@@ -728,9 +752,11 @@ def _round_sig(x, bits: int):
 
 def _target_round(fmt: _Format, values):
     """The compound target-format rounding used by ``round_to_format``:
-    first to the format's significand width (unbounded exponent), then a
-    native cast that applies overflow/subnormal semantics."""
+    first to the format's significand width (unbounded exponent), then the
+    storage cast that applies overflow/subnormal semantics."""
     sig = _round_sig(values, fmt.target_bits)
+    if fmt.storage_cast is not None:
+        return fmt.storage_cast(sig)
     if fmt.target_bits == 24:
         return sig.astype(np.float32)
     return sig.astype(np.float64)

@@ -13,11 +13,11 @@ import math
 from fractions import Fraction
 
 import mpmath
-import numpy as np
 from mpmath import mp, mpf
 
+from ..formats import get_format
 from ..ir.expr import App, Const, Expr, Num, Var
-from ..ir.types import F32, F64, TYPE_PRECISION
+from ..ir.types import F64
 from .interval import INTERVAL_OPS, DomainError, Interval
 
 #: Working precisions tried in order (bits of significand).
@@ -28,31 +28,22 @@ class PrecisionExhausted(ArithmeticError):
     """The enclosure failed to converge at the highest working precision."""
 
 
-def round_to_format(value: mpf, ty: str) -> float:
+def round_to_format(value: mpf, ty) -> float:
     """Round an mpf correctly into float format ``ty`` (returned as Python float).
 
-    binary32 results are representable exactly in a Python float, so the
-    return type is float for both formats.
+    Every registered format's values are representable exactly in a
+    Python float, so the return type is float for all of them.  This is
+    the compound rounding the numpy fast path mirrors: re-round the
+    significand to the format's precision half-even at unbounded exponent
+    (``mp.workprec``), then apply the format's storage cast for
+    overflow/subnormal semantics.
     """
     if mpmath.isnan(value):
         return math.nan
-    prec = TYPE_PRECISION[ty]
-    with mp.workprec(prec):
+    fmt = get_format(ty)
+    with mp.workprec(fmt.precision):
         rounded = +value  # unary plus re-rounds to the context precision
-    result = float(rounded)
-    if ty == F32:
-        result = _clamp_f32(result)
-    else:
-        result = _clamp_f64(result)
-    return result
-
-
-def _clamp_f64(x: float) -> float:
-    return x  # float() already applied binary64 overflow/denormal semantics
-
-
-def _clamp_f32(x: float) -> float:
-    return float(np.float32(x))
+    return fmt.storage_clamp(float(rounded))
 
 
 def _interval_of_leaf(expr: Expr, point: dict[str, float]) -> Interval:

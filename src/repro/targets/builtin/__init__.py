@@ -1,4 +1,6 @@
-"""The nine built-in targets evaluated in the paper (figure 6)."""
+"""The nine built-in targets evaluated in the paper (figure 6), plus the
+ML-accelerator narrow-format targets (``fp16``, ``bf16``) this
+reproduction adds on top of the number-format layer."""
 
 from __future__ import annotations
 
@@ -9,6 +11,7 @@ from ..target import Target
 from .hardware import make_arith, make_arith_fma, make_avx
 from .languages import make_c99, make_julia, make_python
 from .libraries import make_fdlibm, make_numpy, make_vdt
+from .mlformats import make_bf16, make_fp16
 
 _FACTORIES = {
     "arith": (make_arith, True),
@@ -20,9 +23,13 @@ _FACTORIES = {
     "numpy": (make_numpy, True),
     "vdt": (make_vdt, True),
     "fdlibm": (make_fdlibm, True),
+    # Modeled costs: auto-tuning would measure the Python interpreter, not
+    # accelerator character (same reasoning as AVX's published tables).
+    "fp16": (make_fp16, False),
+    "bf16": (make_bf16, False),
 }
 
-#: The paper's evaluation order for the nine targets.
+#: The paper's nine targets in evaluation order, then the added ML formats.
 TARGET_NAMES = tuple(_FACTORIES)
 
 

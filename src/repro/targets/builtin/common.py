@@ -103,6 +103,54 @@ def direct32(real_name: str, latency: float, linked: bool = False) -> OperatorDe
     )
 
 
+def direct_fmt(
+    fmt, real_name: str, latency: float, linked: bool = False
+) -> OperatorDef:
+    """An operator in an arbitrary registered format (``fmt`` is a
+    :class:`~repro.formats.FloatFormat`): the generalization of
+    :func:`direct32` — compute the binary64 implementation wide, round the
+    result into the format once.  Operator names carry the format's suffix
+    (``add.bf16``), argument and return types its registered name."""
+    base, approx_src = _BASE_APPROX[real_name]
+    arity = _arity(approx_src)
+    impl64 = _impl64(real_name)
+    impl = impls.format_of(impl64, fmt) if impl64 is not None else None
+    if base in ("neg", "fabs"):
+        impl = impl64  # exact in every format: no rounding needed
+    return opdef(
+        f"{base}.{fmt.suffix}",
+        (fmt.name,) * arity,
+        fmt.name,
+        approx_src,
+        latency,
+        impl=impl,
+        linked=linked,
+    )
+
+
+def fma_ops_fmt(fmt, latency: float) -> list[OperatorDef]:
+    """The fused multiply-add family in an arbitrary registered format."""
+    specs = (
+        ("fma", "(+ (* x y) z)", impls.fma64),
+        ("fms", "(- (* x y) z)", impls.fms64),
+        ("fnma", "(+ (neg (* x y)) z)", impls.fnma64),
+        ("fnms", "(- (neg (* x y)) z)", impls.fnms64),
+    )
+    ty = fmt.name
+    return [
+        opdef(
+            f"{base}.{fmt.suffix}",
+            (ty, ty, ty),
+            ty,
+            approx,
+            latency,
+            impls.format_of(impl64, fmt),
+            linked=True,
+        )
+        for base, approx, impl64 in specs
+    ]
+
+
 def fma_ops_f64(latency: float) -> list[OperatorDef]:
     """The fused multiply-add family at binary64."""
     return [
@@ -131,6 +179,27 @@ def cast_ops(latency: float = 2.0) -> list[OperatorDef]:
     return [
         opdef("cast.f32", (F64,), F32, Var("x"), latency, cast_to_f32, linked=True),
         opdef("cast.f64", (F32,), F64, Var("x"), latency, cast_to_f64, linked=True),
+    ]
+
+
+def cast_ops_fmt(fmt, latency: float = 2.0) -> list[OperatorDef]:
+    """Format-conversion operators between binary64 and an arbitrary
+    registered format: the demotion rounds (``impls.cast_into``), the
+    promotion is exact (narrow values are representable doubles)."""
+    from ...fpeval.impls import cast_into, cast_to_f64
+    from ...ir.expr import Var
+
+    return [
+        opdef(
+            f"cast.{fmt.suffix}",
+            (F64,),
+            fmt.name,
+            Var("x"),
+            latency,
+            cast_into(fmt),
+            linked=True,
+        ),
+        opdef("cast.f64", (fmt.name,), F64, Var("x"), latency, cast_to_f64, linked=True),
     ]
 
 

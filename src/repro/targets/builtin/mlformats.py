@@ -1,0 +1,89 @@
+"""ML-accelerator-flavored narrow-format targets: ``fp16`` and ``bf16``.
+
+These two targets cash in the first-class number-format layer
+(:mod:`repro.formats`): each compiles FPCore benchmarks *into* a 16-bit
+format — IEEE binary16 (``fp16``, 11-bit significand, narrow exponent) or
+bfloat16 (``bf16``, 8-bit significand, binary32's exponent range) — with
+every operator rounding its result into the format, the same compute-wide,
+round-once discipline real accelerators and ML frameworks use for
+half-precision math.
+
+The cost model is modeled, not auto-tuned (the linked implementations run
+in Python here; auto-tuning would measure interpreter overhead, not
+accelerator character): arithmetic and fma are uniformly cheap — tensor
+ALUs make no fast/slow distinction among them — while the transcendental
+set is the short special-function-unit menu (exp/log bases, sin/cos, tanh)
+at a flat modest cost, and conditionals price like AVX masking
+(vector-style: both branches plus a blend).
+
+Programs emit as Python (the formats have no C scalar type): every
+operator renders as ``math.add_bf16(...)``-style calls that the sandboxed
+exec backend links to these rounding implementations, so ``repro validate
+--backend python`` runs real format-faithful code.
+"""
+
+from __future__ import annotations
+
+from ...formats import get_format
+from ..target import VECTOR, Target
+from .common import cast_ops_fmt, direct_fmt, fma_ops_fmt
+
+#: The special-function-unit menu: what accelerator hardware actually
+#: provides fast approximations for (everything else would be emulated).
+_SFU_OPS = ("exp", "exp2", "log", "log2", "sin", "cos", "tanh")
+
+#: Flat SFU latency relative to unit-cost arithmetic.
+_SFU_LATENCY = 8.0
+
+
+def _ml_operators(fmt):
+    ops = [
+        direct_fmt(fmt, "+", 1.0, linked=True),
+        direct_fmt(fmt, "-", 1.0, linked=True),
+        direct_fmt(fmt, "*", 1.0, linked=True),
+        direct_fmt(fmt, "/", 4.0, linked=True),
+        direct_fmt(fmt, "neg", 0.5, linked=True),
+        direct_fmt(fmt, "fabs", 0.5, linked=True),
+        direct_fmt(fmt, "sqrt", 4.0, linked=True),
+        direct_fmt(fmt, "fmin", 1.0, linked=True),
+        direct_fmt(fmt, "fmax", 1.0, linked=True),
+    ]
+    ops.extend(fma_ops_fmt(fmt, 1.0))
+    ops.extend(direct_fmt(fmt, name, _SFU_LATENCY, linked=True) for name in _SFU_OPS)
+    ops.extend(cast_ops_fmt(fmt, 1.0))
+    return ops
+
+
+def _make_ml_target(format_name: str, description: str) -> Target:
+    fmt = get_format(format_name)
+    return Target(
+        name=fmt.name,
+        operators={op.name: op for op in _ml_operators(fmt)},
+        literal_costs={fmt.name: 1.0},
+        variable_cost=1.0,
+        if_style=VECTOR,
+        if_cost=2.0,
+        description=description,
+        cost_source="modeled",
+        linkage="L",
+        perf_overhead=0.0,
+        output_format="python",
+    )
+
+
+def make_fp16() -> Target:
+    """IEEE binary16 accelerator target (11-bit significand, emax 15)."""
+    return _make_ml_target(
+        "fp16",
+        "ML accelerator at IEEE binary16 (fp16): cheap fused arithmetic, "
+        "SFU transcendentals, vector-style conditionals",
+    )
+
+
+def make_bf16() -> Target:
+    """bfloat16 accelerator target (8-bit significand, binary32 range)."""
+    return _make_ml_target(
+        "bf16",
+        "ML accelerator at bfloat16 (bf16): binary32's range at 8 bits of "
+        "significand; cheap fused arithmetic, SFU transcendentals",
+    )

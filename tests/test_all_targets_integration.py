@@ -7,6 +7,8 @@ the universal invariants checked — well-typed output, Pareto-consistent
 frontier, output at least as accurate as the input.
 """
 
+import dataclasses
+
 import pytest
 
 from repro.accuracy import SampleConfig, sample_core
@@ -24,6 +26,20 @@ ARITH_BENCH = "sqrt-sub"
 TRANSCENDENTAL_BENCH = "logistic"
 
 
+def _core_for(bench: str, target):
+    """The benchmark retuned to a format the target computes in.
+
+    The narrow-format targets (fp16/bf16) carry no binary64 operators —
+    compiling on them means compiling *into* their format, so the core's
+    ``:precision`` moves to the target's and sampling follows.
+    """
+    core = core_named(bench)
+    formats = target.float_types()
+    if core.precision not in formats:
+        core = dataclasses.replace(core, precision=formats[0])
+    return core
+
+
 @pytest.fixture(scope="module")
 def arith_samples():
     return sample_core(core_named(ARITH_BENCH), SMALL)
@@ -37,8 +53,13 @@ def transcendental_samples():
 @pytest.mark.parametrize("target_name", TARGET_NAMES)
 def test_arith_benchmark_on_every_target(target_name, arith_samples):
     target = get_target(target_name)
-    core = core_named(ARITH_BENCH)
-    result = compile_fpcore(core, target, FAST, samples=arith_samples)
+    core = _core_for(ARITH_BENCH, target)
+    samples = (
+        arith_samples
+        if core.precision == "binary64"
+        else sample_core(core, SMALL)
+    )
+    result = compile_fpcore(core, target, FAST, samples=samples)
 
     assert len(result.frontier) >= 1
     model = TargetCostModel(target)
@@ -57,8 +78,13 @@ def test_transcendental_benchmark_on_every_target(
     target_name, transcendental_samples
 ):
     target = get_target(target_name)
-    core = core_named(TRANSCENDENTAL_BENCH)
-    result = compile_fpcore(core, target, FAST, samples=transcendental_samples)
+    core = _core_for(TRANSCENDENTAL_BENCH, target)
+    samples = (
+        transcendental_samples
+        if core.precision == "binary64"
+        else sample_core(core, SMALL)
+    )
+    result = compile_fpcore(core, target, FAST, samples=samples)
     assert len(result.frontier) >= 1
     model = TargetCostModel(target)
     for candidate in result.frontier:

@@ -1,0 +1,82 @@
+"""FPBench corpus importer tests: filter, don't crash."""
+
+import pytest
+
+from repro.benchsuite import (
+    curated_suite,
+    filter_cores,
+    import_fpbench,
+    import_fpcores_text,
+)
+
+_MIXED = """
+; a comment line, as FPBench files have
+(FPCore good (x) :precision binary32 :pre (< 0 x 1) (sqrt (+ x 1)))
+(FPCore looped (x n) :precision binary64
+  (while (< i n) ([i 0 (+ i 1)]) x))
+(FPCore exotic (x) :precision binary80 (+ x 1))
+(FPCore half-ok (x) :precision fp16 :pre (< 0 x 10) (exp x))
+(FPCore letcore (x) (let ([y (+ x 1)]) (* y y)))
+"""
+
+
+def test_import_skips_with_reason_not_crash():
+    report = import_fpcores_text(_MIXED, source_file="mixed.fpcore")
+    assert [c.name for c in report.cores] == ["good", "half-ok", "letcore"]
+    reasons = {s.name: s.reason for s in report.skipped}
+    assert set(reasons) == {"looped", "exotic"}
+    assert "binary80" in reasons["exotic"]
+    assert "registered formats" in reasons["exotic"]
+    assert all(s.source_file == "mixed.fpcore" for s in report.skipped)
+    assert "imported 3 cores, skipped 2" == report.summary()
+
+
+def test_import_unbalanced_file_is_one_skip():
+    report = import_fpcores_text("(FPCore broken (x", source_file="bad.fpcore")
+    assert report.cores == []
+    assert len(report.skipped) == 1
+    assert "unparseable" in report.skipped[0].reason
+
+
+def test_import_fpbench_directory(tmp_path):
+    (tmp_path / "a.fpcore").write_text(
+        "(FPCore a1 (x) :pre (< 0 x 1) (sqrt x))\n"
+    )
+    (tmp_path / "b.fpcore").write_text(
+        "(FPCore b1 (x) :precision binary128 (+ x 1))\n"
+        "(FPCore b2 (x) (exp x))\n"
+    )
+    (tmp_path / "notes.txt").write_text("not a benchmark\n")
+    report = import_fpbench(tmp_path)
+    assert [c.name for c in report.cores] == ["a1", "b2"]  # sorted files
+    assert [s.name for s in report.skipped] == ["b1"]
+
+
+def test_import_fpbench_missing_path(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        import_fpbench(tmp_path / "nope")
+    with pytest.raises(FileNotFoundError):
+        import_fpbench(tmp_path)  # exists but holds no .fpcore files
+
+
+def test_filter_cores_reasons():
+    report = import_fpcores_text(_MIXED)
+    kept = filter_cores(
+        report.cores,
+        operators={"sqrt", "+", "*", "exp"},
+        max_arguments=1,
+        precisions={"binary32", "binary64"},
+        require_pre=True,
+    )
+    assert [c.name for c in kept.cores] == ["good"]
+    reasons = {s.name: s.reason for s in kept.skipped}
+    assert reasons["half-ok"].startswith("precision:")
+    assert reasons["letcore"].startswith("no :pre")
+
+
+def test_curated_suite_passes_its_own_filter():
+    """The curated corpus is fully importable by construction."""
+    cores = curated_suite()
+    report = filter_cores(cores, precisions={"binary32", "binary64"})
+    assert len(report.cores) == len(cores)
+    assert report.skipped == []

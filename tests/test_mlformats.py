@@ -1,0 +1,90 @@
+"""fp16/bf16 target tests: end-to-end narrow-format compilation.
+
+The acceptance path from the formats issue: a bf16 FPCore compiles
+end-to-end (compile → sample → score → emit → Python-backend execute) and
+the two ML-format targets advertise themselves through the capabilities
+metadata.
+"""
+
+import math
+
+import pytest
+
+from repro.accuracy.sampler import SampleConfig
+from repro.core.loop import CompileConfig
+from repro.core.output import render, to_c
+from repro.exec.executable import backend_availability, executable_for
+from repro.formats import get_format
+from repro.ir.fpcore import parse_fpcore
+from repro.session import ChassisSession, targets_info
+from repro.targets import get_target
+
+_CONFIG = CompileConfig(iterations=1, localize_points=8)
+_SAMPLES = SampleConfig(n_train=16, n_test=16)
+
+
+def _core(fmt_name: str):
+    return parse_fpcore(
+        f"(FPCore logistic-{fmt_name} (x) :precision {fmt_name} "
+        ":pre (< -10 x 10) (/ 1 (+ 1 (exp (neg x)))))"
+    )
+
+
+@pytest.mark.parametrize("fmt_name", ["fp16", "bf16"])
+def test_narrow_format_compiles_end_to_end(fmt_name):
+    target = get_target(fmt_name)
+    core = _core(fmt_name)
+    with ChassisSession(config=_CONFIG, sample_config=_SAMPLES) as session:
+        result = session.compile(core, target)
+    assert len(result.frontier) >= 1
+    best = result.frontier.best_error()
+    # Scored error is measured in the format's own bits.
+    fmt = get_format(fmt_name)
+    assert 0.0 <= best.error <= fmt.bits
+
+    # Emission routes every operator through the linked format impls.
+    source = render(best.program, core, target)
+    assert f"_{fmt.suffix}(" in source
+
+    # The emitted Python executes under the sandboxed backend and returns
+    # values exactly representable in the format.
+    program = executable_for(best.program, core, target, backend="python")
+    for x in (-4.0, -1.0, 0.0, 0.5, 1.0, 4.0):
+        out = program.run_point({"x": x})
+        assert math.isfinite(out)
+        assert out == fmt.round_float(out), f"{out} not {fmt_name}-representable"
+        assert abs(out - 1.0 / (1.0 + math.exp(-x))) < 0.05
+
+
+@pytest.mark.parametrize("fmt_name", ["fp16", "bf16"])
+def test_narrow_format_capabilities(fmt_name):
+    target = get_target(fmt_name)
+    caps = backend_availability(target)
+    assert fmt_name in caps["formats"]
+    assert caps["backends"]["python"] is True
+    assert caps["backends"]["c"] is False  # no C scalar type
+    by_name = {t["name"]: t for t in targets_info()}
+    assert fmt_name in by_name
+    assert fmt_name in by_name[fmt_name]["capabilities"]["formats"]
+
+
+def test_narrow_format_refuses_c_emission():
+    target = get_target("bf16")
+    core = _core("bf16")
+    with pytest.raises(ValueError, match="no C scalar type"):
+        to_c(core.body, core, target)
+
+
+def test_narrow_ops_round_into_format():
+    """Every linked operator result is representable in its format."""
+    for fmt_name in ("fp16", "bf16"):
+        fmt = get_format(fmt_name)
+        registry = get_target(fmt_name).impl_registry()
+        add = registry[f"add.{fmt.suffix}"].impl
+        exp = registry[f"exp.{fmt.suffix}"].impl
+        one_third = add(1.0 / 3.0, 0.0)
+        assert one_third == fmt.round_float(1.0 / 3.0)
+        assert exp(1.0) == fmt.round_float(math.e)
+        # Overflow saturates to infinity at the format's range, not f64's.
+        big = fmt.from_ordinal(fmt.max_ordinal)
+        assert add(big, big) == math.inf
