@@ -112,10 +112,75 @@ def measure(target_name: str) -> list[dict]:
     return rows
 
 
+def validate_trajectory_record(record: dict, require_summaries: bool = True) -> list[str]:
+    """Schema-check one trajectory entry; returns the list of problems.
+
+    The trajectory is only useful if every entry is complete: a silently
+    appended partial record (an empty engine summary because
+    ``bench_egraph.py`` didn't run, a compile row missing its phase
+    breakdown) poisons every later comparison against it.  CI therefore
+    refuses to append entries with problems.  ``require_summaries=False``
+    (the ``--allow-partial`` flag) relaxes only the sub-bench summaries —
+    for running the smoke outside CI without the other benches — never
+    the compile rows themselves.
+    """
+    problems: list[str] = []
+
+    def check(condition: bool, message: str) -> None:
+        if not condition:
+            problems.append(message)
+
+    check(bool(record.get("commit")), "missing commit hash")
+    check(bool(record.get("target")), "missing target name")
+    compile_block = record.get("compile")
+    if not isinstance(compile_block, dict):
+        problems.append("missing compile block")
+    else:
+        rows = compile_block.get("benchmarks")
+        check(
+            isinstance(rows, list) and bool(rows),
+            "compile.benchmarks must be a non-empty list",
+        )
+        for row in rows if isinstance(rows, list) else []:
+            label = row.get("benchmark", "?") if isinstance(row, dict) else "?"
+            check(isinstance(row, dict) and bool(row.get("benchmark")),
+                  f"compile row {label!r}: missing benchmark name")
+            if not isinstance(row, dict):
+                continue
+            check(isinstance(row.get("seconds"), (int, float)),
+                  f"compile row {label!r}: missing seconds")
+            check(isinstance(row.get("phases"), dict) and bool(row["phases"]),
+                  f"compile row {label!r}: missing/empty phase breakdown")
+            check(isinstance(row.get("phase_coverage"), (int, float)),
+                  f"compile row {label!r}: missing phase_coverage")
+        check(isinstance(compile_block.get("total_seconds"), (int, float)),
+              "compile.total_seconds missing")
+        check(isinstance(compile_block.get("min_phase_coverage"), (int, float)),
+              "compile.min_phase_coverage missing")
+    if require_summaries:
+        engine = record.get("engine")
+        check(isinstance(engine, dict) and bool(engine.get("summary")),
+              "missing/empty engine summary (did bench_egraph.py --smoke run?)")
+        oracle = record.get("oracle")
+        check(isinstance(oracle, dict) and bool(oracle),
+              "missing/empty oracle summary (did bench_oracle.py --smoke run?)")
+        formats = record.get("formats")
+        check(isinstance(formats, dict) and bool(formats),
+              "missing/empty formats summary (did bench_formats.py run?)")
+    return problems
+
+
 def append_trajectory(path: Path, record: dict) -> None:
     """Insert/replace this commit's entry in the trajectory file."""
     if path.exists():
         trajectory = json.loads(path.read_text())
+        if not isinstance(trajectory, dict) or not isinstance(
+            trajectory.get("runs"), list
+        ):
+            raise ValueError(
+                f"{path} is not a trajectory file (expected an object with "
+                "a 'runs' list); refusing to overwrite it"
+            )
     else:
         trajectory = {
             "description": (
@@ -159,6 +224,13 @@ def main(argv=None) -> int:
         "--format-results",
         default=str(ROOT / "results" / "format_bench.json"),
         help="bench_formats.py output to fold into the trajectory entry",
+    )
+    parser.add_argument(
+        "--allow-partial",
+        action="store_true",
+        help="append even when sub-bench summaries (engine/oracle/formats) "
+        "are absent — for local runs without the other benches; the "
+        "compile rows themselves are always validated",
     )
     args = parser.parse_args(argv)
 
@@ -213,6 +285,21 @@ def main(argv=None) -> int:
             "oracle": oracle_summary,
             "formats": format_summary,
         }
+        # Validate BEFORE appending: a partial entry must never reach the
+        # committed trajectory, where it would silently poison every later
+        # per-commit comparison.
+        problems = validate_trajectory_record(
+            record, require_summaries=not args.allow_partial
+        )
+        if problems:
+            for problem in problems:
+                print(f"TRAJECTORY SCHEMA: {problem}", file=sys.stderr)
+            print(
+                "FAIL: refusing to append a partial trajectory entry "
+                "(--allow-partial skips only the sub-bench summary checks)",
+                file=sys.stderr,
+            )
+            return 1
         path = Path(args.append)
         append_trajectory(path, record)
         print(f"recorded commit {record['commit'][:12]} in {path}")

@@ -9,26 +9,17 @@ the cost model cannot see but the performance simulator reproduces.
 
 from conftest import write_result
 
-from repro.experiments import correlation, cost_model_report, run_cost_model_study
-from repro.targets import get_target
+from repro.experiments import correlation
 
 
-def test_fig10_cost_vs_runtime(benchmark, bench_cores, experiment_config):
-    targets = [get_target(n) for n in ("c99", "python", "julia", "vdt", "avx", "numpy")]
+def test_fig10_cost_vs_runtime(benchmark, data_provider):
     points = benchmark.pedantic(
-        run_cost_model_study,
-        args=(bench_cores, targets, experiment_config),
-        rounds=1,
-        iterations=1,
+        data_provider.cost_model_points, rounds=1, iterations=1
     )
-    report = cost_model_report(points)
-    # Append the raw scatter so the figure can be re-plotted.
-    scatter = "\n".join(
-        f"  {p.target:<8} {p.benchmark:<16} cost={p.estimated_cost:10.1f} "
-        f"time={p.run_time:10.1f}"
-        for p in points
-    )
-    write_result("fig10_costmodel", report + "\nScatter points:\n" + scatter)
+    fig = data_provider.figure("fig10")
+    # The table already appends the raw scatter so the figure can be
+    # re-plotted.
+    write_result(fig.name, fig.table)
 
     assert len(points) >= 5
     assert correlation(points) > 0.4  # moderate-to-strong, as in the paper

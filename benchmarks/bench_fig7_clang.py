@@ -1,40 +1,33 @@
 """Figure 7: Chassis vs Clang on the C 99 target.
 
 Regenerates the joint Pareto comparison against 12 Clang configurations
-(-O0/-O1/-O2/-O3/-Os/-Oz, each with and without -ffast-math).  Expected
-shape (paper 6.2): Chassis' curve dominates; fast-math beats precise Clang
-on speed with an accuracy drop; Chassis' advantage at matched accuracy is
-severalfold (the paper reports 8.9x at equal accuracy, >= 3.5x overall).
+(-O0/-O1/-O2/-O3/-Os/-Oz, each with and without -ffast-math) through the
+provenance DataProvider.  Expected shape (paper 6.2): Chassis' curve
+dominates; fast-math beats precise Clang on speed with an accuracy drop;
+Chassis' advantage at matched accuracy is severalfold (the paper reports
+8.9x at equal accuracy, >= 3.5x overall).
 
-``REPRO_BENCH_EMPIRICAL=1`` switches the figure to **empirical** mode: run
-times come from executing emitted code (system-compiler-built shared
-libraries, wall-clock timed over the test points) instead of from the
-performance simulator — the real-hardware variant of the figure.  Shape
-assertions only apply to the deterministic simulated mode; empirical
-numbers carry real measurement noise.
+``REPRO_BENCH_EMPIRICAL=1`` (read in conftest) switches the figure to
+**empirical** mode: run times come from executing emitted code
+(system-compiler-built shared libraries, wall-clock timed over the test
+points) instead of from the performance simulator — the real-hardware
+variant of the figure.  Shape assertions only apply to the deterministic
+simulated mode; empirical numbers carry real measurement noise.
 """
-
-import os
 
 from conftest import write_result
 
-from repro.experiments import clang_report, joint_pareto, run_clang_comparison
-from repro.targets import get_target
-
-EMPIRICAL = os.environ.get("REPRO_BENCH_EMPIRICAL", "") not in ("", "0")
+from repro.experiments import clang_report, joint_pareto
 
 
-def test_fig7_chassis_vs_clang(benchmark, bench_cores, experiment_config):
-    c99 = get_target("c99")
+def test_fig7_chassis_vs_clang(benchmark, data_provider):
     results = benchmark.pedantic(
-        run_clang_comparison,
-        args=(bench_cores, c99, experiment_config),
-        kwargs={"empirical": EMPIRICAL},
-        rounds=1,
-        iterations=1,
+        data_provider.clang_comparison, rounds=1, iterations=1
     )
+    # The bench artifact keeps the wall-clock footer (unlike the
+    # determinism-checked `repro report` rendering of the same data).
     report = clang_report(results)
-    if EMPIRICAL:
+    if data_provider.clang_empirical:
         measured = sum(r.empirical for r in results)
         report = (
             f"(empirical: wall-clock timings of executed code for "
@@ -44,7 +37,7 @@ def test_fig7_chassis_vs_clang(benchmark, bench_cores, experiment_config):
     write_result("fig7_clang", report)
 
     assert results, "no benchmark compiled"
-    if EMPIRICAL:
+    if data_provider.clang_empirical:
         return  # wall-clock noise: the deterministic shape check is moot
     # Shape check: Chassis' best speedup exceeds every precise Clang config.
     chassis_best = max(

@@ -5,24 +5,23 @@ Expected shape (paper 6.3): small gaps on the hardware targets
 (Arith/Arith+FMA/AVX), moderate gaps on the language targets (C/Julia/
 Python — flat cost models), dramatic gaps on the library targets
 (NumPy/vdt/fdlibm — approximate and helper operators), with vdt up to ~1.9x.
+
+The comparison runs through the session-scoped DataProvider, which
+memoizes it — figure 9 (the relative view of the same data) reuses this
+run instead of recompiling everything.
 """
 
 from conftest import write_result
 
-from repro.experiments import herbie_report, joint_pareto, run_herbie_comparison
-from repro.targets import all_targets
+from repro.experiments import joint_pareto
 
 
-def test_fig8_chassis_vs_herbie(benchmark, bench_cores, experiment_config):
-    targets = all_targets()
+def test_fig8_chassis_vs_herbie(benchmark, data_provider):
     results = benchmark.pedantic(
-        run_herbie_comparison,
-        args=(bench_cores, targets, experiment_config),
-        rounds=1,
-        iterations=1,
+        data_provider.herbie_comparison, rounds=1, iterations=1
     )
-    report = herbie_report(results)
-    write_result("fig8_herbie", report)
+    fig = data_provider.figure("fig8")
+    write_result(fig.name, fig.table)
 
     assert results, "no benchmark*target pair survived"
     # Shape check: on every covered target Chassis' best joint speedup is at

@@ -5,29 +5,22 @@ Herbie achieves, how much faster is Chassis' program at that accuracy?
 Expected shape (paper 6.3): ratios >= 1 almost everywhere, with occasional
 "tail" points < 1 where Chassis misses Herbie's most accurate program
 (about 3.5% of benchmarks in the paper).
+
+The DataProvider memoizes the underlying Chassis-vs-Herbie run, so when
+figure 8 ran first in this pytest session, this figure is pure rendering.
 """
 
 from conftest import write_result
 
-from repro.experiments import (
-    geomean,
-    herbie_relative_report,
-    run_herbie_comparison,
-    speedup_at_matched_accuracy,
-)
-from repro.targets import all_targets
+from repro.experiments import geomean, speedup_at_matched_accuracy
 
 
-def test_fig9_speedup_over_herbie(benchmark, bench_cores, experiment_config):
-    targets = all_targets()
+def test_fig9_speedup_over_herbie(benchmark, data_provider):
     results = benchmark.pedantic(
-        run_herbie_comparison,
-        args=(bench_cores, targets, experiment_config),
-        rounds=1,
-        iterations=1,
+        data_provider.herbie_comparison, rounds=1, iterations=1
     )
-    report = herbie_relative_report(results)
-    write_result("fig9_herbie_relative", report)
+    fig = data_provider.figure("fig9")
+    write_result(fig.name, fig.table)
 
     ratios = []
     for row in results:

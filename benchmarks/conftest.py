@@ -25,12 +25,16 @@ import pytest
 from repro.accuracy import SampleConfig
 from repro.core import CompileConfig
 from repro.experiments import ExperimentConfig
+from repro.provenance.provider import PREFERRED_BENCHMARKS, SessionDataProvider
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
 BENCH_N = int(os.environ.get("REPRO_BENCH_N", "6"))
 BENCH_POINTS = int(os.environ.get("REPRO_BENCH_POINTS", "24"))
 BENCH_ITERS = int(os.environ.get("REPRO_BENCH_ITERS", "1"))
+#: Figure 7 empirical mode: wall-clock timings of executed code instead of
+#: the (deterministic) performance simulator.
+BENCH_EMPIRICAL = os.environ.get("REPRO_BENCH_EMPIRICAL", "") not in ("", "0")
 
 
 @pytest.fixture(scope="session")
@@ -43,18 +47,25 @@ def experiment_config() -> ExperimentConfig:
 
 @pytest.fixture(scope="session")
 def bench_cores():
-    """The benchmark subset used by the figure harnesses."""
+    """The benchmark subset used by the figure harnesses — the same
+    preference-ordered corpus ``repro report`` slices, so the harness and
+    the report command regenerate figures from identical inputs."""
     from repro.benchsuite import core_named
 
-    # Interleave multivariate transcendental kernels (where library targets'
-    # approximate operators matter — series expansion cannot shortcut them)
-    # with arithmetic-only kernels the hardware targets can express.
-    preferred = [
-        "slerp-weight", "quadratic-mod", "logsumexp2", "sqrt-sub",
-        "gauss-kernel", "acoth", "ellipse-angle", "logistic",
-        "deg-dist", "rcp-norm", "cos-frac", "hypot-naive",
-    ]
-    return [core_named(name) for name in preferred[:BENCH_N]]
+    return [core_named(name) for name in PREFERRED_BENCHMARKS[:BENCH_N]]
+
+
+@pytest.fixture(scope="session")
+def data_provider(experiment_config, bench_cores) -> SessionDataProvider:
+    """The figure-regeneration seam every ``bench_fig*`` module drives.
+
+    Session-scoped on purpose: the provider memoizes each experiment run,
+    so figures sharing data (8 and 9 are two views of one Chassis-vs-
+    Herbie comparison) compute it once per pytest session, exactly like
+    ``repro report`` does."""
+    return SessionDataProvider(
+        experiment_config, bench_cores, clang_empirical=BENCH_EMPIRICAL
+    )
 
 
 def write_result(name: str, text: str) -> None:

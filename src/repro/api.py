@@ -60,6 +60,7 @@ from .exec import (
     validate_program,
 )
 from .ir.fpcore import FPCore, parse_fpcore, parse_fpcores
+from .provenance.ledger import ProvenanceLedger
 from .service.api import JobSpec, run_compile_jobs
 from .service.cache import CompileCache, job_fingerprint
 from .service.pool import WorkerPool
@@ -100,6 +101,8 @@ __all__ = [
     "CompileCache",
     "job_fingerprint",
     "run_compile_jobs",
+    # provenance
+    "ProvenanceLedger",
     # server front-end
     "serve",
     "create_server",

@@ -391,6 +391,7 @@ def _render_health(payload: dict) -> None:
     section("oracle", payload.get("oracle"))
     section("cache", payload.get("cache"))
     section("pool", payload.get("pool"))
+    section("provenance", payload.get("provenance"))
 
 
 def _cmd_health(args) -> int:
@@ -425,6 +426,18 @@ def _cmd_health(args) -> int:
         print()
         print(metrics_text, end="")
     return 0 if payload.get("ok") else 1
+
+
+def _cmd_provenance(args) -> int:
+    from .provenance.report import cmd_provenance
+
+    return cmd_provenance(args)
+
+
+def _cmd_report(args) -> int:
+    from .provenance.report import cmd_report
+
+    return cmd_report(args)
 
 
 def _cmd_serve(args) -> int:
@@ -657,6 +670,69 @@ def build_parser() -> argparse.ArgumentParser:
     p_score.add_argument("--program", help="float program (defaults to the transcribed input)")
     p_score.add_argument("--points", type=int, default=64)
     p_score.set_defaults(fn=_cmd_score)
+
+    p_prov = sub.add_parser(
+        "provenance",
+        help="query the provenance ledger (by job fingerprint or prefix)",
+    )
+    p_prov.add_argument(
+        "fingerprint", nargs="?", default=None,
+        help="job fingerprint (64-char digest or an 8+-char prefix); "
+        "omit to show ledger info",
+    )
+    p_prov.add_argument(
+        "--cache-dir", default=".repro-cache",
+        help="cache directory whose provenance.jsonl to query",
+    )
+    p_prov.add_argument("--ledger", help="explicit ledger path (overrides --cache-dir)")
+    p_prov.add_argument(
+        "--url", default=None,
+        help="query a running `repro serve`'s GET /provenance instead",
+    )
+    p_prov.add_argument(
+        "--timeout", type=float, default=5.0, help="HTTP timeout in seconds"
+    )
+    p_prov.add_argument("--json", action="store_true", help="emit raw record JSON")
+    p_prov.set_defaults(fn=_cmd_provenance)
+
+    p_report = sub.add_parser(
+        "report",
+        help="regenerate the paper figures (fig6-fig10) with provenance manifests",
+    )
+    p_report.add_argument(
+        "--out", default="results/report",
+        help="output directory for the JSON/Markdown artifacts",
+    )
+    p_report.add_argument(
+        "--cache-dir", default=".repro-cache",
+        help="persistent compile cache (and its provenance ledger); a warm "
+        "cache regenerates every figure with zero recompiles",
+    )
+    p_report.add_argument(
+        "--figures", default=None,
+        help="comma-separated subset of fig6,fig7,fig8,fig9,fig10 (default all)",
+    )
+    p_report.add_argument("--benchmarks", type=int, default=6,
+                          help="benchmark-suite prefix size")
+    p_report.add_argument("--points", type=int, default=24,
+                          help="sample points per split")
+    p_report.add_argument("--iterations", type=int, default=1,
+                          help="improvement-loop iterations")
+    p_report.add_argument("--seed", type=int, default=20250401)
+    p_report.add_argument("--jobs", type=int, default=1, help="worker-pool width")
+    p_report.add_argument("--timeout", type=float, default=None,
+                          help="per-compilation timeout in seconds")
+    p_report.add_argument(
+        "--smoke", action="store_true",
+        help="CI scale: 3 benchmarks, 8 points, 1 iteration",
+    )
+    p_report.add_argument(
+        "--check", action="store_true",
+        help="regenerate without writing; exit non-zero if tables drift "
+        "from the artifacts in --out or any input job is missing from "
+        "the ledger",
+    )
+    p_report.set_defaults(fn=_cmd_report)
     return parser
 
 

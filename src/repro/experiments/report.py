@@ -31,8 +31,14 @@ def _curve_rows(points: list[JointPoint]) -> str:
     )
 
 
-def clang_report(results: list[ClangComparison]) -> str:
-    """Figure 7: joint Pareto of Chassis vs 12 Clang configurations."""
+def clang_report(results: list[ClangComparison], include_timing: bool = True) -> str:
+    """Figure 7: joint Pareto of Chassis vs 12 Clang configurations.
+
+    ``include_timing=False`` drops the wall-clock compile-time footer —
+    the one non-deterministic line — so provenance-checked report
+    artifacts regenerate byte-identically (timings live in the ledger
+    records instead); the bench harness keeps it on.
+    """
     out = StringIO()
     out.write(f"Figure 7 — Chassis vs Clang on C99 ({len(results)} benchmarks)\n\n")
     chassis_curve = joint_pareto([r.chassis for r in results])
@@ -57,12 +63,13 @@ def clang_report(results: list[ClangComparison]) -> str:
             f"\nChassis best speedup {chassis_best:.2f}x vs best Clang config "
             f"{best_fast_speedup:.2f}x -> advantage {chassis_best / max(best_fast_speedup, 1e-9):.2f}x\n"
         )
-    chassis_time = sum(r.chassis_compile_s for r in results) / max(1, len(results))
-    clang_time = sum(r.clang_compile_s for r in results) / max(1, len(results))
-    out.write(
-        f"Compiler run time per benchmark: Chassis {chassis_time:.2f}s vs "
-        f"Clang (12 configs) {clang_time:.3f}s\n"
-    )
+    if include_timing:
+        chassis_time = sum(r.chassis_compile_s for r in results) / max(1, len(results))
+        clang_time = sum(r.clang_compile_s for r in results) / max(1, len(results))
+        out.write(
+            f"Compiler run time per benchmark: Chassis {chassis_time:.2f}s vs "
+            f"Clang (12 configs) {clang_time:.3f}s\n"
+        )
     return out.getvalue()
 
 

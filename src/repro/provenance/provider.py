@@ -1,0 +1,337 @@
+"""The ``DataProvider`` seam between experiments and figure artifacts.
+
+Every paper figure (fig6–fig10) is regenerated through one protocol:
+``figure(key)`` returns a :class:`FigureData` carrying the rendered table,
+the JSON-able raw data, and — crucially — the list of
+:class:`~repro.service.scheduler.JobOutcome`\\ s whose fingerprints the
+numbers derive from.  The benchmark harness (``benchmarks/bench_fig*.py``)
+and the ``repro report`` command both consume this layer, so there is
+exactly one code path from cached batch results to a figure, and every
+consumer gets lineage for free.
+
+:class:`SessionDataProvider` is the live implementation: it drives the
+existing experiment runners through a *recording*
+:class:`~repro.experiments.runner.ExperimentConfig` whose ``compile_all``
+captures each figure's outcomes.  Figure data is memoized, so fig8 and
+fig9 (two views of one Chassis-vs-Herbie run) share a single comparison
+instead of computing it twice, and a report over all five figures compiles
+each (benchmark, target) job at most once.
+
+Tables rendered here are **deterministic**: given a warm cache and a fixed
+seed, regenerating a figure yields byte-identical text (the contract
+``repro report --check`` enforces).  Wall-clock compile times therefore
+stay out of them — ``clang_report`` is rendered with its timing footer
+off; timings live in ledger records instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+from ..experiments.pareto import speedup_at_matched_accuracy
+from ..experiments.report import (
+    clang_report,
+    cost_model_report,
+    herbie_relative_report,
+    herbie_report,
+    targets_table,
+)
+from ..experiments.runner import (
+    ExperimentConfig,
+    run_clang_comparison,
+    run_cost_model_study,
+    run_herbie_comparison,
+)
+from ..service.scheduler import JobOutcome
+from ..targets import all_targets, get_target
+
+#: The benchmark subset every figure harness draws from, in preference
+#: order: multivariate transcendental kernels (where library targets'
+#: approximate operators matter — series expansion cannot shortcut them)
+#: interleaved with arithmetic-only kernels the hardware targets can
+#: express.  ``benchmarks/conftest.py`` and ``repro report`` both slice
+#: this list, so the bench harness and the report command regenerate
+#: figures from the same corpus.
+PREFERRED_BENCHMARKS = (
+    "slerp-weight", "quadratic-mod", "logsumexp2", "sqrt-sub",
+    "gauss-kernel", "acoth", "ellipse-angle", "logistic",
+    "deg-dist", "rcp-norm", "cos-frac", "hypot-naive",
+)
+
+#: Figure keys in paper order, and their artifact/result-file base names
+#: (matching the ``results/<name>.txt`` files the bench harness writes).
+FIGURES = ("fig6", "fig7", "fig8", "fig9", "fig10")
+FIGURE_NAMES = {
+    "fig6": "fig6_targets",
+    "fig7": "fig7_clang",
+    "fig8": "fig8_herbie",
+    "fig9": "fig9_herbie_relative",
+    "fig10": "fig10_costmodel",
+}
+
+#: The target subset figure 10 correlates cost against run time on.
+COST_MODEL_TARGETS = ("c99", "python", "julia", "vdt", "avx", "numpy")
+
+
+@dataclass
+class FigureData:
+    """One regenerated figure: rendered table, raw data, and lineage."""
+
+    figure: str
+    #: Artifact base name (``fig7_clang`` etc.).
+    name: str
+    title: str
+    #: Deterministic rendered text (the drift-checked bytes).
+    table: str
+    #: JSON-able raw series behind the table (also drift-checked).
+    data: object
+    #: The compile jobs whose fingerprints this figure's values trace to.
+    jobs: list[JobOutcome] = field(default_factory=list, repr=False)
+
+
+@runtime_checkable
+class DataProvider(Protocol):
+    """Anything that can regenerate paper figures with lineage.
+
+    The report generator consumes exactly this; a provider backed by a
+    remote service or a results database slots in without touching it.
+    """
+
+    def figures(self) -> tuple[str, ...]:
+        """The figure keys this provider can regenerate."""
+        ...
+
+    def figure(self, key: str) -> FigureData:
+        """Regenerate one figure (memoized; raises KeyError on unknown)."""
+        ...
+
+
+class _RecordingConfig(ExperimentConfig):
+    """An :class:`ExperimentConfig` sharing ``base``'s session whose
+    ``compile_all`` appends every outcome to ``sink`` — how the provider
+    learns which fingerprinted jobs fed each figure."""
+
+    def __init__(self, base: ExperimentConfig, sink: list):
+        super().__init__(
+            compile_config=base.compile_config,
+            sample_config=base.sample_config,
+            jobs=base.jobs,
+            cache=base.cache,
+            timeout=base.timeout,
+            session=base.get_session(),
+        )
+        self._sink = sink
+
+    def compile_all(self, specs):
+        outcomes = super().compile_all(specs)
+        self._sink.extend(outcomes)
+        return outcomes
+
+
+class SessionDataProvider:
+    """Figures regenerated live through one warm session (see module doc).
+
+    ``config`` supplies the session/cache/scale knobs; ``cores`` the
+    benchmark subset (defaults to the first six of
+    :data:`PREFERRED_BENCHMARKS` if None is passed by a caller that built
+    its own core list elsewhere).  ``clang_empirical`` switches figure 7
+    to wall-clock-timed executed code — never use it for checked reports,
+    measurement noise breaks the determinism contract.
+    """
+
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        cores,
+        *,
+        clang_target: str = "c99",
+        herbie_targets=None,
+        cost_targets=COST_MODEL_TARGETS,
+        clang_empirical: bool = False,
+    ):
+        self._sink: list[JobOutcome] = []
+        self.config = _RecordingConfig(config, self._sink)
+        self.cores = list(cores)
+        self.clang_target = clang_target
+        self._herbie_targets = herbie_targets
+        self.cost_targets = tuple(cost_targets)
+        self.clang_empirical = clang_empirical
+        #: key -> (value, outcomes recorded while computing it)
+        self._memo: dict[str, tuple[object, list[JobOutcome]]] = {}
+
+    # --- raw data accessors (what the bench harness times) --------------------------
+
+    def targets(self):
+        """Figure 6's data: the registered target inventory."""
+        return all_targets()
+
+    def herbie_targets(self):
+        return (
+            all_targets() if self._herbie_targets is None
+            else [get_target(t) if isinstance(t, str) else t
+                  for t in self._herbie_targets]
+        )
+
+    def _run(self, key: str, fn) -> tuple[object, list[JobOutcome]]:
+        if key not in self._memo:
+            mark = len(self._sink)
+            value = fn()
+            self._memo[key] = (value, list(self._sink[mark:]))
+        return self._memo[key]
+
+    def clang_comparison(self):
+        """Figure 7's data (memoized): Chassis vs 12 Clang configs."""
+        return self._run("clang", lambda: run_clang_comparison(
+            self.cores, get_target(self.clang_target), self.config,
+            empirical=self.clang_empirical,
+        ))[0]
+
+    def herbie_comparison(self):
+        """Figures 8 *and* 9's data (memoized once, shared)."""
+        return self._run("herbie", lambda: run_herbie_comparison(
+            self.cores, self.herbie_targets(), self.config,
+        ))[0]
+
+    def cost_model_points(self):
+        """Figure 10's data (memoized): (estimated cost, run time) pairs."""
+        return self._run("cost", lambda: run_cost_model_study(
+            self.cores,
+            [get_target(name) for name in self.cost_targets],
+            self.config,
+        ))[0]
+
+    # --- the DataProvider protocol --------------------------------------------------
+
+    def figures(self) -> tuple[str, ...]:
+        return FIGURES
+
+    def figure(self, key: str) -> FigureData:
+        builder = {
+            "fig6": self._fig6,
+            "fig7": self._fig7,
+            "fig8": self._fig8,
+            "fig9": self._fig9,
+            "fig10": self._fig10,
+        }.get(key)
+        if builder is None:
+            raise KeyError(f"unknown figure {key!r}; have {', '.join(FIGURES)}")
+        return builder()
+
+    # --- per-figure builders --------------------------------------------------------
+
+    def _fig6(self) -> FigureData:
+        targets = self.targets()
+        return FigureData(
+            figure="fig6",
+            name=FIGURE_NAMES["fig6"],
+            title="Figure 6 — target descriptions",
+            table=targets_table(targets),
+            data=[
+                {
+                    "name": t.name,
+                    "operators": len(t.operators),
+                    "linkage": t.linkage,
+                    "if_style": t.if_style,
+                    "cost_source": t.cost_source,
+                    "description": t.description,
+                }
+                for t in targets
+            ],
+            jobs=[],
+        )
+
+    def _fig7(self) -> FigureData:
+        self.clang_comparison()
+        results, jobs = self._memo["clang"]
+        return FigureData(
+            figure="fig7",
+            name=FIGURE_NAMES["fig7"],
+            title="Figure 7 — Chassis vs Clang on C99",
+            # Timing footer off: compile wall clock is not reproducible
+            # data; it lives in the ledger records instead.
+            table=clang_report(results, include_timing=False),
+            data=[
+                {
+                    "benchmark": r.benchmark,
+                    "chassis": [list(e) for e in r.chassis],
+                    "clang": {name: list(e) for name, e in sorted(r.clang.items())},
+                    "empirical": r.empirical,
+                }
+                for r in results
+            ],
+            jobs=jobs,
+        )
+
+    def _fig8(self) -> FigureData:
+        self.herbie_comparison()
+        results, jobs = self._memo["herbie"]
+        return FigureData(
+            figure="fig8",
+            name=FIGURE_NAMES["fig8"],
+            title="Figure 8 — Chassis vs Herbie across targets",
+            table=herbie_report(results),
+            data=self._herbie_rows(results),
+            jobs=jobs,
+        )
+
+    def _fig9(self) -> FigureData:
+        self.herbie_comparison()
+        results, jobs = self._memo["herbie"]
+        return FigureData(
+            figure="fig9",
+            name=FIGURE_NAMES["fig9"],
+            title="Figure 9 — Chassis speedup over Herbie at matched accuracy",
+            table=herbie_relative_report(results),
+            data=[
+                {
+                    "benchmark": r.benchmark,
+                    "target": r.target,
+                    "matched": [
+                        list(m)
+                        for m in speedup_at_matched_accuracy(r.chassis, r.herbie)
+                    ],
+                }
+                for r in results
+            ],
+            jobs=jobs,
+        )
+
+    @staticmethod
+    def _herbie_rows(results) -> list[dict]:
+        return [
+            {
+                "benchmark": r.benchmark,
+                "target": r.target,
+                "chassis": [list(e) for e in r.chassis],
+                "herbie": [list(e) for e in r.herbie],
+                "input": list(r.input_entry),
+                "translation": dict(sorted(r.translation_stats.items())),
+            }
+            for r in results
+        ]
+
+    def _fig10(self) -> FigureData:
+        points = self.cost_model_points()
+        _points, jobs = self._memo["cost"]
+        scatter = "\n".join(
+            f"  {p.target:<8} {p.benchmark:<16} cost={p.estimated_cost:10.1f} "
+            f"time={p.run_time:10.1f}"
+            for p in points
+        )
+        return FigureData(
+            figure="fig10",
+            name=FIGURE_NAMES["fig10"],
+            title="Figure 10 — cost model vs simulated run time",
+            table=cost_model_report(points) + "\nScatter points:\n" + scatter,
+            data=[
+                {
+                    "target": p.target,
+                    "benchmark": p.benchmark,
+                    "cost": p.estimated_cost,
+                    "time": p.run_time,
+                }
+                for p in points
+            ],
+            jobs=jobs,
+        )

@@ -1,0 +1,390 @@
+"""``repro report``: regenerate every paper figure with full lineage.
+
+Drives a :class:`~repro.provenance.provider.DataProvider` over the warm
+session/cache and writes, per figure, a JSON artifact and a Markdown
+rendering under ``results/report/`` (plus a top-level ``manifest.json``
+and ``report.md`` index).  Every artifact embeds a **provenance
+manifest**: which fingerprinted jobs produced its values, whether each
+was a warm cache hit or a fresh compile, and — resolved against the
+provenance ledger — the record of the original compilation each value
+traces back to (timestamp, host, compiler, commit, oracle backend).
+
+``--check`` mode regenerates without writing and exits non-zero when
+
+* a figure's committed artifact is missing,
+* the regenerated table or data drifts from the artifact's, or
+* any input job's fingerprint does not resolve in the ledger (the cache
+  holds the bytes but their origin is gone — lineage is broken).
+
+Determinism contract: on a warm cache with fixed seeds, regeneration is
+byte-identical — sampling is seeded, the pipeline is deterministic (the
+PR-1 contract), warm hits recompile nothing, and the rendered tables
+exclude wall-clock measurements.  ``--check`` after a cold ``repro
+report`` on the same cache therefore passes, and CI runs exactly that
+pair on both compiler legs.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from .ledger import ProvenanceLedger, _now_iso, host_info
+from .provider import FIGURES, FigureData
+
+#: Version of the artifact layout (bumped on incompatible changes).
+ARTIFACT_SCHEMA = 1
+
+
+def _canon(data) -> str:
+    """The canonical serialized form drift is measured on: a JSON text
+    round-trip (tuples become lists, NaN compares as text) with sorted
+    keys, so cold-written and regenerated data compare structurally."""
+    return json.dumps(json.loads(json.dumps(data)), sort_keys=True)
+
+
+def _job_entries(fig: FigureData, ledger: ProvenanceLedger | None) -> list[dict]:
+    entries = []
+    for outcome in fig.jobs:
+        record = (
+            # Failed/timed-out jobs are lineage too: they resolve to the
+            # record of the original failure, not to an ok compile that
+            # never happened.
+            ledger.resolve(outcome.fingerprint, status=outcome.status)
+            if ledger is not None and outcome.fingerprint else None
+        )
+        entry = {
+            "fingerprint": outcome.fingerprint,
+            "benchmark": outcome.benchmark,
+            "target": outcome.target,
+            "status": outcome.status,
+            "cached": bool(outcome.cached),
+            "ledger": "resolved" if record is not None else "missing",
+        }
+        if record is not None:
+            entry["compiled_at"] = record.get("ts")
+            entry["compiled_on"] = (record.get("host") or {}).get("hostname")
+            entry["oracle_backend"] = record.get("oracle_backend")
+        entries.append(entry)
+    return entries
+
+
+def _provenance_manifest(
+    fig: FigureData, ledger: ProvenanceLedger | None
+) -> dict:
+    jobs = _job_entries(fig, ledger)
+    return {
+        "generated": _now_iso(),
+        "host": host_info(),
+        "ledger": {
+            "path": str(ledger.path) if ledger is not None else None,
+            "resolved": sum(j["ledger"] == "resolved" for j in jobs),
+            "missing": sum(j["ledger"] == "missing" for j in jobs),
+        },
+        "compiles": {
+            "total": len(jobs),
+            "cached": sum(j["cached"] for j in jobs),
+            "recompiled": sum(
+                (not j["cached"]) and j["status"] == "ok" for j in jobs
+            ),
+            "failed": sum(j["status"] != "ok" for j in jobs),
+        },
+        "jobs": jobs,
+    }
+
+
+def _figure_markdown(fig: FigureData, provenance: dict) -> str:
+    out = [f"# {fig.title}", "", "```", fig.table.rstrip("\n"), "```", ""]
+    out += ["## Provenance", ""]
+    host = provenance["host"]
+    compiles = provenance["compiles"]
+    ledger = provenance["ledger"]
+    out += [
+        f"- generated: {provenance['generated']}",
+        f"- host: {host['hostname']} ({host['platform']}, "
+        f"python {host['python']}, cc {host['cc']})",
+        f"- commit: {host['commit']}",
+        f"- compiles: {compiles['total']} jobs, {compiles['cached']} cached, "
+        f"{compiles['recompiled']} recompiled, {compiles['failed']} failed",
+        f"- ledger: {ledger['path'] or '(none)'} — "
+        f"{ledger['resolved']} resolved, {ledger['missing']} missing",
+        "",
+    ]
+    if provenance["jobs"]:
+        out += [
+            "| fingerprint | benchmark | target | status | cached | ledger |",
+            "|---|---|---|---|---|---|",
+        ]
+        out += [
+            f"| `{j['fingerprint'][:12]}` | {j['benchmark']} | {j['target']} "
+            f"| {j['status']} | {'yes' if j['cached'] else 'no'} "
+            f"| {j['ledger']} |"
+            for j in provenance["jobs"]
+        ]
+    else:
+        out += ["(no compile jobs: this figure reads only the target registry)"]
+    return "\n".join(out) + "\n"
+
+
+def generate_report(
+    provider,
+    ledger: ProvenanceLedger | None,
+    out_dir: str | Path,
+    *,
+    figures=FIGURES,
+    check: bool = False,
+) -> tuple[int, dict]:
+    """Regenerate ``figures`` through ``provider``; returns (status, summary).
+
+    Generate mode writes ``<name>.json`` + ``<name>.md`` per figure plus
+    ``manifest.json`` / ``report.md``.  Check mode writes nothing: it
+    compares the regenerated table/data against the on-disk artifacts and
+    verifies every input job resolves in the ledger, returning status 1
+    with the problems listed in ``summary["problems"]`` on any failure.
+    """
+    out = Path(out_dir)
+    problems: list[str] = []
+    summary: dict = {
+        "mode": "check" if check else "generate",
+        "out": str(out),
+        "figures": {},
+    }
+    sections: list[tuple[FigureData, dict]] = []
+
+    for key in figures:
+        fig = provider.figure(key)
+        provenance = _provenance_manifest(fig, ledger)
+        artifact = {
+            "schema": ARTIFACT_SCHEMA,
+            "figure": fig.figure,
+            "name": fig.name,
+            "title": fig.title,
+            "table": fig.table,
+            "data": json.loads(json.dumps(fig.data)),
+            "provenance": provenance,
+        }
+        path = out / f"{fig.name}.json"
+        if check:
+            for job in provenance["jobs"]:
+                if job["ledger"] == "missing":
+                    problems.append(
+                        f"{key}: job {job['fingerprint'][:12]} "
+                        f"({job['benchmark']} on {job['target']}) has no "
+                        f"fresh-compile record in the ledger"
+                    )
+            if not path.exists():
+                problems.append(f"{key}: no committed artifact at {path}")
+            else:
+                try:
+                    existing = json.loads(path.read_text())
+                except ValueError:
+                    existing = None
+                if not isinstance(existing, dict):
+                    problems.append(f"{key}: artifact {path} is not valid JSON")
+                else:
+                    if existing.get("table") != fig.table:
+                        problems.append(
+                            f"{key}: regenerated table differs from {path}"
+                        )
+                    if _canon(existing.get("data")) != _canon(fig.data):
+                        problems.append(
+                            f"{key}: regenerated data differs from {path}"
+                        )
+        else:
+            out.mkdir(parents=True, exist_ok=True)
+            path.write_text(
+                json.dumps(artifact, indent=2, sort_keys=True) + "\n"
+            )
+            (out / f"{fig.name}.md").write_text(
+                _figure_markdown(fig, provenance)
+            )
+        sections.append((fig, provenance))
+        summary["figures"][key] = {
+            "name": fig.name,
+            "compiles": provenance["compiles"],
+            "ledger": {
+                "resolved": provenance["ledger"]["resolved"],
+                "missing": provenance["ledger"]["missing"],
+            },
+        }
+
+    totals = {
+        "total": sum(s["compiles"]["total"] for s in summary["figures"].values()),
+        "cached": sum(s["compiles"]["cached"] for s in summary["figures"].values()),
+        "recompiled": sum(
+            s["compiles"]["recompiled"] for s in summary["figures"].values()
+        ),
+        "failed": sum(s["compiles"]["failed"] for s in summary["figures"].values()),
+        "ledger_missing": sum(
+            s["ledger"]["missing"] for s in summary["figures"].values()
+        ),
+    }
+    summary["totals"] = totals
+
+    if not check:
+        manifest = {
+            "schema": ARTIFACT_SCHEMA,
+            "generated": _now_iso(),
+            "host": host_info(),
+            "ledger": str(ledger.path) if ledger is not None else None,
+            "figures": summary["figures"],
+            "totals": totals,
+        }
+        (out / "manifest.json").write_text(
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+        )
+        index = ["# Reproduction report", ""]
+        host = manifest["host"]
+        index += [
+            f"- generated: {manifest['generated']} on {host['hostname']} "
+            f"(python {host['python']}, cc {host['cc']}, "
+            f"commit {host['commit'][:12]})",
+            f"- compiles: {totals['total']} jobs, {totals['cached']} cached, "
+            f"{totals['recompiled']} recompiled",
+            f"- ledger: {manifest['ledger'] or '(none)'}",
+            "",
+        ]
+        for fig, _provenance in sections:
+            index += [f"## {fig.title}", "", "```", fig.table.rstrip("\n"),
+                      "```", "", f"(lineage: [{fig.name}.md]({fig.name}.md))",
+                      ""]
+        (out / "report.md").write_text("\n".join(index))
+
+    summary["problems"] = problems
+    return (1 if problems else 0), summary
+
+
+# --- CLI commands -------------------------------------------------------------------
+
+
+def _parse_figures(spec: str | None) -> tuple[str, ...]:
+    if not spec:
+        return FIGURES
+    keys = tuple(part.strip() for part in spec.split(",") if part.strip())
+    unknown = [key for key in keys if key not in FIGURES]
+    if unknown:
+        raise SystemExit(
+            f"unknown figures: {', '.join(unknown)} "
+            f"(choose from {', '.join(FIGURES)})"
+        )
+    return keys
+
+
+def cmd_report(args) -> int:
+    """The ``repro report`` command (see ``repro report --help``)."""
+    from ..accuracy.sampler import SampleConfig
+    from ..benchsuite import core_named
+    from ..core.loop import CompileConfig
+    from ..experiments.runner import ExperimentConfig
+    from .provider import PREFERRED_BENCHMARKS, SessionDataProvider
+
+    figures = _parse_figures(args.figures)
+    benchmarks, points, iterations = args.benchmarks, args.points, args.iterations
+    if args.smoke:
+        benchmarks, points, iterations = 3, 8, 1
+    config = ExperimentConfig(
+        CompileConfig(
+            iterations=iterations, localize_points=8, max_variants=20
+        ),
+        SampleConfig(n_train=points, n_test=points, seed=args.seed),
+        jobs=args.jobs,
+        cache=args.cache_dir,
+        timeout=args.timeout,
+    )
+    session = config.get_session()
+    provider = SessionDataProvider(
+        config, [core_named(name) for name in PREFERRED_BENCHMARKS[:benchmarks]]
+    )
+    try:
+        status, summary = generate_report(
+            provider, session.ledger, args.out, figures=figures,
+            check=args.check,
+        )
+    finally:
+        config.close()
+    totals = summary["totals"]
+    for key, entry in summary["figures"].items():
+        compiles = entry["compiles"]
+        print(
+            f"{key:<6} {entry['name']:<20} jobs={compiles['total']:<3} "
+            f"cached={compiles['cached']:<3} "
+            f"recompiled={compiles['recompiled']:<3} "
+            f"ledger missing={entry['ledger']['missing']}"
+        )
+    print(
+        f"{summary['mode']}: {len(summary['figures'])} figures, "
+        f"{totals['total']} jobs ({totals['cached']} cached, "
+        f"{totals['recompiled']} recompiled) -> {summary['out']}"
+    )
+    if args.check:
+        for problem in summary["problems"]:
+            print(f"CHECK FAILED: {problem}")
+        if not summary["problems"]:
+            print("check ok: tables byte-identical, all jobs resolve in the ledger")
+    return status
+
+
+def cmd_provenance(args) -> int:
+    """The ``repro provenance`` command: query ledger records."""
+    if args.url:
+        import urllib.error
+        import urllib.parse
+        import urllib.request
+
+        base = args.url.rstrip("/")
+        url = base + "/provenance"
+        if args.fingerprint:
+            url += "?" + urllib.parse.urlencode(
+                {"fingerprint": args.fingerprint}
+            )
+        try:
+            with urllib.request.urlopen(url, timeout=args.timeout) as resp:
+                payload = json.load(resp)
+        except urllib.error.HTTPError as error:
+            try:
+                payload = json.load(error)
+            except ValueError:
+                payload = {"error": str(error)}
+            print(json.dumps(payload, indent=2))
+            return 1
+        except OSError as error:
+            print(f"provenance: cannot reach {base}: {error}")
+            return 1
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    if args.ledger:
+        path = Path(args.ledger)
+    elif args.cache_dir:
+        path = Path(args.cache_dir) / "provenance.jsonl"
+    else:
+        raise SystemExit("need one of --ledger, --cache-dir or --url")
+    ledger = ProvenanceLedger(path)
+    if not args.fingerprint:
+        print(json.dumps(ledger.info(), indent=2))
+        return 0
+    records = ledger.records_for(args.fingerprint)
+    if not records:
+        print(f"no provenance records for {args.fingerprint} in {path}")
+        return 1
+    if args.json:
+        print(json.dumps(records, indent=2))
+        return 0
+    try:
+        for record in records:
+            engine = record.get("engine") or {}
+            print(
+                f"{record.get('ts', '?'):<29} {record.get('kind', '?'):<8} "
+                f"{record.get('cache', '?'):<6} {record.get('status', '?'):<7} "
+                f"{record.get('benchmark', '?')} on {record.get('target', '?')} "
+                f"[{str(record.get('fingerprint', ''))[:12]}] "
+                f"format={record.get('format', '?')} "
+                f"backend={record.get('oracle_backend') or '-'} "
+                f"elapsed={record.get('elapsed', 0.0):.3f}s"
+                + (f" enodes={engine.get('enodes_built')}"
+                   if engine.get("enodes_built") else "")
+            )
+    except BrokenPipeError:  # `repro provenance ... | head` closed the pipe
+        sys.stderr.close()  # suppress the interpreter's flush-failure noise
+    return 0

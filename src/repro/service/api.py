@@ -28,6 +28,7 @@ from typing import Iterable, Sequence, TypeAlias
 from ..accuracy.sampler import SampleConfig, SampleSet
 from ..core.loop import CompileConfig
 from ..ir.fpcore import FPCore
+from ..rival.backends import resolve_backend_name
 from ..targets import get_target
 from ..targets.target import Target
 from .cache import CompileCache, job_fingerprint, target_fingerprint
@@ -75,6 +76,7 @@ def run_compile_jobs(
     inline_lock=None,
     pool=None,
     trace: bool = False,
+    ledger=None,
 ) -> list[JobOutcome]:
     """Compile many (benchmark, target) pairs; returns outcomes in order.
 
@@ -104,6 +106,13 @@ def run_compile_jobs(
     to record a span trace, returned on ``JobOutcome.trace`` (cache hits
     have none: no phases ran).  Engine counters come back on
     ``JobOutcome.engine`` unconditionally.
+
+    ``ledger``, when given, is a provenance journal (anything with
+    :meth:`~repro.provenance.ledger.ProvenanceLedger.record_job`; taken
+    duck-typed so this module never imports the provenance layer): one
+    ``"batch"`` record is appended per job — hits in the lookup loop,
+    fresh results as outcomes are rebuilt — always in the *parent*
+    process; workers never touch the journal.
     """
     config = config or CompileConfig()
     sample_config = sample_config or SampleConfig()
@@ -124,6 +133,9 @@ def run_compile_jobs(
     pool_batch: list[BatchJob] = []
     inline_jobs: list[tuple[int, BatchJob, Target]] = []
     targets_by_index: dict[int, Target] = {}
+    # What the workers will resolve for themselves (scheduler._worker_init
+    # resolves from the environment the same way); stamped into records.
+    oracle_backend = resolve_backend_name() if ledger is not None else ""
 
     for index, (core, target, fingerprint, samples) in enumerate(resolved):
         targets_by_index[index] = target
@@ -142,6 +154,12 @@ def run_compile_jobs(
                 )
                 if progress is not None:
                     progress(job_event(index, benchmark, target.name, cached=True))
+                if ledger is not None:
+                    ledger.record_job(
+                        "batch", core, target, config, sample_config,
+                        fingerprint, cache="hit",
+                        oracle_backend=oracle_backend,
+                    )
                 continue
         job = BatchJob(
             index, core_to_source(core), target.name,
@@ -192,6 +210,20 @@ def run_compile_jobs(
         )
         if outcome.ok and cache is not None:
             cache.put(fingerprint, outcome.payload)
+        if ledger is not None:
+            ledger.record_job(
+                "batch", core, target, config, sample_config, fingerprint,
+                cache=(
+                    "store" if outcome.ok and cache is not None
+                    else "none"
+                ),
+                status=outcome.status,
+                elapsed=outcome.elapsed,
+                engine=outcome.engine,
+                oracle=outcome.oracle,
+                oracle_backend=oracle_backend,
+                error_type=outcome.error_type or None,
+            )
         outcomes[index] = outcome
 
     final: list[JobOutcome] = []

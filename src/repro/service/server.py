@@ -12,6 +12,9 @@ Endpoints (all bodies JSON):
 * ``GET  /metrics`` — the process metrics registry (:mod:`repro.obs`) in
   Prometheus text exposition format, plus session-state gauges.
 * ``GET  /targets`` — the registered target descriptions (figure 6 data).
+* ``GET  /provenance`` — the session's provenance-ledger info, or — with
+  ``?fingerprint=<digest-or-8+-char-prefix>`` — every ledger record of
+  that job (404 without a ledger or a match).
 * ``POST /compile`` — ``{"core": "<FPCore src>", "target": "c99"}`` plus
   optional ``iterations``/``points``/``seed``/``timeout`` knobs.  Responds
   with ``{"status": "ok", ..., "result": <payload>}``; an identical second
@@ -19,7 +22,9 @@ Endpoints (all bodies JSON):
   (the ``X-Repro-Cached`` header is the only difference).  The opt-in
   ``"timings": true`` knob adds a per-phase wall-clock breakdown *outside*
   the result payload (null on warm hits — no phases ran), so the cached
-  result bytes stay deterministic.
+  result bytes stay deterministic; the opt-in ``"provenance": true`` knob
+  likewise attaches the job's ledger record — and, on warm hits, the
+  origin record of the compilation that produced the cached bytes.
 * ``POST /batch``   — ``{"cores": [...], "targets": [...]}``; the cross
   product through the session's *persistent* worker pool + cache (each
   benchmark sampled once, shared across targets), reported in the same
@@ -52,7 +57,7 @@ import json
 import sys
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from urllib.parse import urlparse
+from urllib.parse import parse_qs, urlparse
 
 from ..accuracy.sampler import SamplingError
 from ..core.transcribe import Untranscribable
@@ -68,7 +73,7 @@ from .batch import report_line
 #: Routes that may appear as metric labels; anything else (scans, typos)
 #: collapses to one bucket so label cardinality stays bounded.
 _KNOWN_ROUTES = frozenset({
-    "/health", "/metrics", "/targets",
+    "/health", "/metrics", "/targets", "/provenance",
     "/compile", "/batch", "/score", "/validate",
 })
 
@@ -244,9 +249,36 @@ class ChassisRequestHandler(BaseHTTPRequestHandler):
             )
         elif path == "/targets":
             self._send_json(200, {"targets": self.session.targets_info()})
+        elif path == "/provenance":
+            self._get_provenance()
         else:
             self._send_json(404, {"error": f"no such endpoint: {path}"})
         self._observe_request(path, start)
+
+    def _get_provenance(self) -> None:
+        """``GET /provenance`` — ledger info, or — with a ``fingerprint``
+        query parameter (64-char digest or an 8+-char prefix) — every
+        record of that job.  404 when the session has no ledger (no
+        persistent cache) or no record matches."""
+        session = self.session
+        if session.ledger is None:
+            self._send_json(404, {
+                "error": "no provenance ledger (session has no persistent "
+                         "cache; start with --cache-dir)"
+            })
+            return
+        query = parse_qs(urlparse(self.path).query)
+        fingerprint = query.get("fingerprint", [""])[0]
+        if not fingerprint:
+            self._send_json(200, session.ledger.info())
+            return
+        records = session.provenance_for(fingerprint)
+        if not records:
+            self._send_json(404, {
+                "error": f"no provenance records for {fingerprint!r}"
+            })
+            return
+        self._send_json(200, {"fingerprint": fingerprint, "records": records})
 
     def do_POST(self):  # noqa: N802 - stdlib naming
         path = urlparse(self.path).path
@@ -292,6 +324,9 @@ class ChassisRequestHandler(BaseHTTPRequestHandler):
         want_timings = body.get("timings", False)
         if not isinstance(want_timings, bool):
             raise RequestError("field 'timings' must be a boolean")
+        want_provenance = body.get("provenance", False)
+        if not isinstance(want_provenance, bool):
+            raise RequestError("field 'provenance' must be a boolean")
         benchmark = core.name or "<anonymous>"
         try:
             payload, cached = self.session.compile_payload(
@@ -334,6 +369,13 @@ class ChassisRequestHandler(BaseHTTPRequestHandler):
             response["timings"] = (
                 None if cached else self.session.last_phase_timings()
             )
+        if want_provenance:
+            # Also opt-in and also outside the result payload.  On a warm
+            # hit this carries the *origin* record of the compilation that
+            # produced the cached bytes (resolved lazily — only clients
+            # who ask pay the ledger scan), so warm responses are
+            # auditable while their cached bytes stay identical.
+            response["provenance"] = self.session.last_provenance()
         self._send_json(
             200, response, headers={"X-Repro-Cached": "1" if cached else "0"}
         )

@@ -42,6 +42,7 @@ uses.
 from __future__ import annotations
 
 import dataclasses
+import os
 import threading
 import time
 import weakref
@@ -86,6 +87,7 @@ from .ir.printer import expr_to_sexpr
 from .obs.metrics import METRICS
 from .obs.trace import span
 from .perf.simulator import PerfSimulator
+from .provenance.ledger import ProvenanceLedger
 from .rival.backends import OracleCounters, make_backend, resolve_backend_name
 from .rival.eval import RivalEvaluator
 from .service.api import JobSpec, _poolable, run_compile_jobs
@@ -233,6 +235,7 @@ class ChassisSession:
         timeout: float | None = None,
         max_sample_entries: int = 256,
         oracle_backend: str | None = None,
+        ledger: ProvenanceLedger | str | None = None,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -248,6 +251,20 @@ class ChassisSession:
         #: else ``REPRO_ORACLE_BACKEND``, else ``auto`` (the numpy fast
         #: path).  Raises ValueError for unknown names.
         self.oracle_backend = resolve_backend_name(oracle_backend)
+        #: Provenance journal: explicit ``ledger=`` (path or instance)
+        #: wins; otherwise one is created next to the persistent cache —
+        #: lineage comes with caching by default — unless disabled via
+        #: ``REPRO_PROVENANCE=0``.  Sessions without a persistent cache
+        #: keep no ledger (nothing outlives them to trace back to).
+        if isinstance(ledger, (str, os.PathLike)):
+            ledger = ProvenanceLedger(ledger)
+        if (
+            ledger is None
+            and self.cache is not None
+            and os.environ.get("REPRO_PROVENANCE", "1") != "0"
+        ):
+            ledger = ProvenanceLedger(self.cache.root / "provenance.jsonl")
+        self.ledger = ledger
         self.stats = SessionStats()
         self._lock = threading.RLock()
         # Serializes every mpmath-backed computation (see class docstring).
@@ -263,6 +280,11 @@ class ChassisSession:
         #: Per-thread phase timings of the last fresh compile (None after
         #: a warm cache hit — no phases ran); see :meth:`last_phase_timings`.
         self._timings_local = threading.local()
+        #: Per-thread marker of the last compile entry's provenance (its
+        #: fingerprint + the ledger record written), resolved lazily by
+        #: :meth:`last_provenance` — serve handlers attach it only when a
+        #: client opts in, so warm hits never pay a ledger scan.
+        self._prov_local = threading.local()
         self._samples: OrderedDict[str, SampleSet] = OrderedDict()
         self._max_sample_entries = max_sample_entries
         #: Per-fingerprint gates serializing duplicate *sampling* requests
@@ -541,6 +563,12 @@ class ChassisSession:
                             timings.get("sample", 0.0) + sample_elapsed
                         )
                     self._timings_local.phases = timings
+                    # This run's exact engine deltas, for the provenance
+                    # record the compile entry writes (the session totals
+                    # above are cumulative — useless for one job).
+                    self._timings_local.engine = (
+                        engine_local.as_dict() if engine_local.any() else None
+                    )
 
     def last_phase_timings(self) -> dict[str, float] | None:
         """Per-phase wall-clock seconds of this thread's most recent fresh
@@ -549,6 +577,39 @@ class ChassisSession:
         phases ran).  Thread-local, so concurrent serve handlers each see
         their own compile's breakdown."""
         return getattr(self._timings_local, "phases", None)
+
+    def last_provenance(self) -> dict | None:
+        """Provenance of this thread's most recent compile entry, or None
+        when no ledger is configured (or the thread never compiled).
+
+        Returns the ledger record written for the entry plus — for warm
+        cache hits — the resolved *origin* record of the fresh
+        compilation that produced the cached bytes (so warm responses are
+        auditable; the serve ``/compile`` route attaches this on the
+        opt-in ``provenance`` knob, outside the byte-identical payload).
+        The origin resolve scans the journal, which is why it happens
+        here, lazily, and not on every hit."""
+        entry = getattr(self._prov_local, "entry", None)
+        if entry is None or self.ledger is None:
+            return None
+        record = entry["record"]
+        origin = (
+            record if record.get("cache") != "hit"
+            else self.ledger.resolve(entry["fingerprint"])
+        )
+        return {
+            "fingerprint": entry["fingerprint"],
+            "cached": record.get("cache") == "hit",
+            "record": record,
+            "origin": origin,
+        }
+
+    def provenance_for(self, fingerprint: str) -> list[dict]:
+        """Every ledger record of one job fingerprint (8+-char prefixes
+        match), oldest first; empty without a ledger."""
+        if self.ledger is None:
+            return []
+        return self.ledger.records_for(fingerprint)
 
     def compile(
         self,
@@ -629,8 +690,12 @@ class ChassisSession:
         fingerprint = job_fingerprint(core, target, config, sample_config)
         cacheable = self.cache is not None and use_cache and not customized
         # A cache hit runs no phases; stale timings from an earlier compile
-        # on this thread must not be attributed to it.
+        # on this thread must not be attributed to it.  Same for the
+        # provenance marker: it must describe *this* entry or nothing.
         self._timings_local.phases = None
+        self._timings_local.engine = None
+        self._prov_local.entry = None
+
         def outcome_counter(outcome: str):
             return METRICS.counter(
                 "repro_compiles_total",
@@ -638,12 +703,25 @@ class ChassisSession:
                 outcome=outcome,
             )
 
+        def record(cache_state: str, **kwargs):
+            if self.ledger is None:
+                return
+            written = self.ledger.record_job(
+                "compile", core, target, config, sample_config, fingerprint,
+                cache=cache_state, oracle_backend=self.oracle_backend,
+                **kwargs,
+            )
+            self._prov_local.entry = {
+                "fingerprint": fingerprint, "record": written,
+            }
+
         if cacheable:
             payload = self.cache.get(fingerprint)
             if payload is not None:
                 with self._lock:
                     self.stats.cache_hits += 1
                 outcome_counter("cache_hit").inc()
+                record("hit")
                 return payload, True, fingerprint, None
 
         with self._oracle_section("compile"):
@@ -657,6 +735,7 @@ class ChassisSession:
                     with self._lock:
                         self.stats.cache_hits += 1
                     outcome_counter("cache_hit").inc()
+                    record("hit")
                     return payload, True, fingerprint, None
             try:
                 ctx = self.run_pipeline(
@@ -665,15 +744,25 @@ class ChassisSession:
                     skip=skip, replace=replace, before=before, after=after,
                     timeout=timeout,
                 )
-            except DeadlineExceeded:
+            except DeadlineExceeded as error:
                 with self._lock:
                     self.stats.timeouts += 1
                 outcome_counter("timeout").inc()
+                record(
+                    "none", status="timeout",
+                    error_type=type(error).__name__,
+                    engine=getattr(self._timings_local, "engine", None),
+                )
                 raise
-            except Exception:
+            except Exception as error:
                 with self._lock:
                     self.stats.failures += 1
                 outcome_counter("failure").inc()
+                record(
+                    "none", status="failed",
+                    error_type=type(error).__name__,
+                    engine=getattr(self._timings_local, "engine", None),
+                )
                 raise
             if ctx.result is None:
                 raise PipelineError(
@@ -688,6 +777,14 @@ class ChassisSession:
                 # Stored before the lock is released, so a waiting
                 # duplicate's re-check above finds it.
                 self.cache.put(fingerprint, payload)
+            record(
+                # "bypass": a fresh result deliberately kept out of a
+                # configured cache (customized pipeline, use_cache=False).
+                "store" if cacheable
+                else ("bypass" if self.cache is not None else "none"),
+                elapsed=ctx.result.elapsed,
+                engine=getattr(self._timings_local, "engine", None),
+            )
         return payload, False, fingerprint, ctx.result
 
     def improve(
@@ -952,6 +1049,7 @@ class ChassisSession:
                 self._validations.move_to_end(key)
                 self.stats.validation_hits += 1
                 return cached
+        validate_start = time.perf_counter()
         executable = self.executable(
             core, target, program=resolved, backend=backend, timeout=timeout,
         )
@@ -966,6 +1064,19 @@ class ChassisSession:
             self._validations[key] = report
             while len(self._validations) > 256:
                 self._validations.popitem(last=False)
+        if self.ledger is not None:
+            self.ledger.record_job(
+                "validate", core, target, config or self.config,
+                effective_samples,
+                job_fingerprint(
+                    core, target, config or self.config, effective_samples
+                ),
+                cache="none",
+                elapsed=time.perf_counter() - validate_start,
+                oracle_backend=self.oracle_backend,
+                extra={"exec_backend": executable.backend,
+                       "agreement": report.ok},
+            )
         return report
 
     def shared_samples_for(
@@ -1110,6 +1221,7 @@ class ChassisSession:
             inline_lock=self._oracle_lock,
             pool=pool,
             trace=trace,
+            ledger=self.ledger,
         )
         self._fold_outcomes(outcomes)
         return outcomes
@@ -1133,6 +1245,7 @@ class ChassisSession:
             timeout=self.timeout,
             inline_lock=self._oracle_lock,
             pool=self.worker_pool(),
+            ledger=self.ledger,
         )
         self._fold_outcomes([outcome])
         if outcome.status == "timeout":
@@ -1216,6 +1329,7 @@ class ChassisSession:
             "stats": stats,
             "cache": self.cache.stats.as_dict() if self.cache else None,
             "pool": self.pool_info(),
+            "provenance": self.ledger.info() if self.ledger else None,
             "oracle": {
                 "backend": self.oracle_backend,
                 "evals": self.evaluator.evals + backend.evals + folded.evals,
@@ -1258,6 +1372,10 @@ class ChassisSession:
             # WorkerPool.shutdown itself waits on its in-flight-batch
             # counter, so outcomes being collected are never lost.
             pool.shutdown()
+        if self.ledger is not None:
+            # Closes the append descriptor only; the journal (and the
+            # ledger object, which reopens lazily) stays usable.
+            self.ledger.close()
 
     def __enter__(self) -> "ChassisSession":
         return self
