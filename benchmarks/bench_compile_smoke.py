@@ -164,6 +164,18 @@ def validate_trajectory_record(record: dict, require_summaries: bool = True) -> 
         oracle = record.get("oracle")
         check(isinstance(oracle, dict) and bool(oracle),
               "missing/empty oracle summary (did bench_oracle.py --smoke run?)")
+        if isinstance(oracle, dict) and oracle:
+            # Per-rung fractions arrived with the dd middle rung; a
+            # summary without them predates the cascade and would make
+            # rung-mix regressions invisible in the trajectory.
+            for key in (
+                "fastpath_fraction",
+                "longdouble_fraction",
+                "dd_fraction",
+                "ladder_fraction",
+            ):
+                check(isinstance(oracle.get(key), (int, float)),
+                      f"oracle summary missing per-rung fraction {key!r}")
         formats = record.get("formats")
         check(isinstance(formats, dict) and bool(formats),
               "missing/empty formats summary (did bench_formats.py run?)")

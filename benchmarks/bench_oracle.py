@@ -85,6 +85,7 @@ def bench_benchmark(name: str, n_points: int, repeats: int) -> dict:
 
     points = reference.train + reference.test
     throughput: dict[str, float] = {}
+    rungs = {"longdouble": 0.0, "dd": 0.0, "ladder": 0.0}
     fastpath_fraction = 0.0
     for backend_name in ("mpmath", "numpy"):
         backend = _fresh(backend_name)
@@ -96,9 +97,13 @@ def bench_benchmark(name: str, n_points: int, repeats: int) -> dict:
         throughput[backend_name] = len(points) * repeats / max(elapsed, 1e-9)
         if backend_name == "numpy":
             counters = backend.counters()
-            fastpath_fraction = counters.fastpath_hits / max(
-                1, counters.batch_points
-            )
+            total = max(1, counters.batch_points)
+            fastpath_fraction = counters.fastpath_hits / total
+            rungs["dd"] = counters.dd_hits / total
+            rungs["longdouble"] = (
+                counters.fastpath_hits - counters.dd_hits
+            ) / total
+            rungs["ladder"] = counters.escalated_points / total
 
     speedup = throughput["numpy"] / max(throughput["mpmath"], 1e-9)
     return {
@@ -109,7 +114,37 @@ def bench_benchmark(name: str, n_points: int, repeats: int) -> dict:
         "numpy_points_per_s": round(throughput["numpy"], 1),
         "speedup": round(speedup, 2),
         "fastpath_fraction": round(fastpath_fraction, 4),
+        "longdouble_fraction": round(rungs["longdouble"], 4),
+        "dd_fraction": round(rungs["dd"], 4),
+        "ladder_fraction": round(rungs["ladder"], 4),
     }
+
+
+#: Benchmarks re-sampled through a live jobs=2 worker pool; the pooled
+#: sampler iterations must reproduce the ladder's SampleSets bit-exactly.
+POOL_CHECK = ("sqrt-sub", "cos-frac")
+
+
+def check_pool_identity(names, n_points: int) -> dict[str, bool]:
+    """Bit-identity of pooled sampler iterations against the ladder."""
+    from repro.api import ChassisSession
+
+    config = SampleConfig(n_train=n_points, n_test=n_points)
+    results: dict[str, bool] = {}
+    with ChassisSession(jobs=2, oracle_backend="pool") as session:
+        for name in names:
+            core = core_named(name)
+            reference = sample_core(core, config, oracle=_fresh("mpmath"))
+            pooled = sample_core(core, config, oracle=session.oracle)
+            results[name] = _sample_key(pooled) == _sample_key(reference)
+    return results
+
+
+#: Regression gates: the cascade must keep at least this fraction of all
+#: points off the ladder, and the dd rung must keep settling the
+#: cancellation-heavy cos-frac core (the round-2 motivating case).
+FASTPATH_GATE = 0.95
+COS_FRAC_GATE = 0.5
 
 
 def main(argv=None) -> int:
@@ -133,26 +168,42 @@ def main(argv=None) -> int:
             f"{name}: {row['speedup']:.1f}x "
             f"({row['mpmath_points_per_s']:.0f} -> "
             f"{row['numpy_points_per_s']:.0f} points/s, "
-            f"fastpath {row['fastpath_fraction']:.0%}){marker}"
+            f"fastpath {row['fastpath_fraction']:.0%}, "
+            f"dd {row['dd_fraction']:.0%}){marker}"
         )
+
+    pool_identity = check_pool_identity(POOL_CHECK, n_points)
+    for name, same in pool_identity.items():
+        marker = "identical" if same else "** MISMATCH **"
+        print(f"pool sampling {name}: {marker}")
 
     speedups = [row["speedup"] for row in rows]
     geomean = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
     all_identical = all(row["identical"] for row in rows)
+    pool_identical = all(pool_identity.values())
+
+    def _mean(key: str) -> float:
+        return round(sum(row[key] for row in rows) / len(rows), 4)
+
     summary = {
         "geomean_speedup": round(geomean, 2),
         "min_speedup": min(speedups),
         "max_speedup": max(speedups),
-        "fastpath_fraction": round(
-            sum(row["fastpath_fraction"] for row in rows) / len(rows), 4
-        ),
+        "fastpath_fraction": _mean("fastpath_fraction"),
+        "longdouble_fraction": _mean("longdouble_fraction"),
+        "dd_fraction": _mean("dd_fraction"),
+        "ladder_fraction": _mean("ladder_fraction"),
         "identical": all_identical,
+        "pool_identical": pool_identical,
     }
     print(
         f"\ngeomean speedup {geomean:.1f}x over "
         f"{len(rows)} benchmarks "
         f"(min {summary['min_speedup']:.1f}x, "
-        f"max {summary['max_speedup']:.1f}x)"
+        f"max {summary['max_speedup']:.1f}x); "
+        f"fastpath {summary['fastpath_fraction']:.1%} "
+        f"(longdouble {summary['longdouble_fraction']:.1%} "
+        f"+ dd {summary['dd_fraction']:.1%})"
     )
 
     out = Path(args.out)
@@ -164,15 +215,33 @@ def main(argv=None) -> int:
     }, indent=2) + "\n")
     print(f"wrote {out}")
 
+    failures = []
     if not all_identical:
         bad = [row["benchmark"] for row in rows if not row["identical"]]
-        print(
-            f"FAIL: backends disagree on {', '.join(bad)} — fast paths "
-            "must be bit-identical acceptance filters",
-            file=sys.stderr,
+        failures.append(
+            f"backends disagree on {', '.join(bad)} — fast paths must be "
+            "bit-identical acceptance filters"
         )
-        return 1
-    return 0
+    if not pool_identical:
+        bad = [name for name, same in pool_identity.items() if not same]
+        failures.append(
+            f"pooled sampler iterations diverge on {', '.join(bad)}"
+        )
+    if summary["fastpath_fraction"] <= FASTPATH_GATE:
+        failures.append(
+            f"fastpath fraction {summary['fastpath_fraction']:.4f} "
+            f"regressed below the {FASTPATH_GATE} gate"
+        )
+    cos_frac = next(r for r in rows if r["benchmark"] == "cos-frac")
+    if cos_frac["fastpath_fraction"] <= COS_FRAC_GATE:
+        failures.append(
+            f"cos-frac fastpath {cos_frac['fastpath_fraction']:.4f} "
+            f"regressed below the {COS_FRAC_GATE} gate (dd cancellation "
+            "kernels are not settling)"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

@@ -194,22 +194,20 @@ def sample_core(
             }
             for _ in range(batch_size)
         ]
-        if core.pre is not None:
-            verdicts = oracle.eval_bool_batch(core.pre, candidates)
-            passing = [
-                index for index, verdict in enumerate(verdicts)
-                if verdict.truthy
-            ]
-        else:
-            passing = list(range(batch_size))
-        outcomes = oracle.eval_batch(
-            core.body, [candidates[index] for index in passing],
-            core.precision,
+        # One backend call per sampler iteration: precondition filter
+        # plus body evaluation.  Sharding backends run the whole
+        # iteration worker-side (the pool's ``sample_batch`` override);
+        # in-process backends compose eval_bool_batch + eval_batch, so
+        # results are bit-identical either way.
+        outcomes = oracle.sample_batch(
+            core.pre, core.body, candidates, core.precision
         )
         exact_at = {
             index: outcome.value
-            for index, outcome in zip(passing, outcomes)
-            if outcome.ok and math.isfinite(outcome.value)
+            for index, outcome in enumerate(outcomes)
+            if outcome is not None
+            and outcome.ok
+            and math.isfinite(outcome.value)
         }
         # Walk the block in draw order so ``attempts`` counts exactly the
         # draws the historical loop would have made: it stopped on the

@@ -2,14 +2,16 @@
 
 Three strategies behind one :class:`OracleBackend` protocol:
 
-* ``numpy`` (alias ``auto``, the default) — vectorized outward-rounded
-  interval arithmetic over whole sample sets; points whose enclosure
-  already rounds uniquely in the target format are accepted, the residue
-  escalates to the mpmath ladder.
+* ``numpy`` (alias ``auto``, the default) — the vectorized rung cascade
+  (:mod:`.rungs`): an extended-precision interval sweep, then batched
+  double-double interval arithmetic (:mod:`.dd`), each accepting only
+  points whose outward-rounded enclosure already rounds uniquely in the
+  target format; the residue escalates to the mpmath ladder.
 * ``mpmath`` — the original escalation ladder alone (the reference
   semantics every other backend must match bit-for-bit).
-* ``pool`` — batches sharded across per-worker oracle instances on the
-  session's persistent :class:`~repro.service.pool.WorkerPool`.
+* ``pool`` — batches *and whole sampler iterations* sharded across
+  per-worker oracle instances on the session's persistent
+  :class:`~repro.service.pool.WorkerPool`.
 
 Select with ``ChassisSession(oracle_backend=...)`` or the
 ``REPRO_ORACLE_BACKEND`` environment variable.
@@ -59,6 +61,7 @@ def make_backend(
     lock=None,
     pool_provider=None,
     config_provider=None,
+    min_pool_points: int | None = None,
 ) -> OracleBackend:
     """Build the oracle backend for ``name`` (None: environment, then auto).
 
@@ -68,7 +71,9 @@ def make_backend(
     instrumented oracle section).  ``pool_provider``/``config_provider``
     feed the ``pool`` backend; without a provider (or with a ``jobs=1``
     session, whose provider returns None) pooled requests degrade to the
-    in-process fast path.
+    in-process fast path.  ``min_pool_points`` overrides the pool's
+    sharding threshold (default: ``REPRO_ORACLE_POOL_MIN_BATCH``, then
+    64 points).
     """
     resolved = resolve_backend_name(name)
     evaluator = evaluator if evaluator is not None else RivalEvaluator()
@@ -84,5 +89,8 @@ def make_backend(
     from .pool_backend import PoolOracleBackend
 
     return PoolOracleBackend(
-        fast, pool_provider=pool_provider, config_provider=config_provider
+        fast,
+        pool_provider=pool_provider,
+        config_provider=config_provider,
+        min_pool_points=min_pool_points,
     )

@@ -86,6 +86,10 @@ class OracleCounters:
     fastpath_hits: int = 0
     escalated_points: int = 0
     pool_chunks: int = 0
+    #: Points settled by the double-double rung specifically (a subset of
+    #: ``fastpath_hits``; ``fastpath_hits - dd_hits`` is the longdouble
+    #: sweep's share, ``escalated_points`` the ladder's).
+    dd_hits: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {f.name: getattr(self, f.name) for f in fields(self)}
@@ -161,6 +165,34 @@ class OracleBackend:
         """Boolean decisions (1.0/0.0 values) for every point."""
         raise NotImplementedError
 
+    def sample_batch(
+        self,
+        pre: Expr | None,
+        body: Expr,
+        points: Sequence[dict[str, float]],
+        ty: str = F64,
+    ) -> list[PointResult | None]:
+        """One sampler iteration: precondition filter + body evaluation.
+
+        Returns one entry per candidate point: ``None`` where the
+        precondition is not certainly true (the point never reaches the
+        body), otherwise the body's :class:`PointResult`.  The default
+        composes :meth:`eval_bool_batch` and :meth:`eval_batch`
+        in-process; sharding backends override it so the *whole* sampler
+        iteration (filtering and evaluation) crosses the process
+        boundary once instead of twice.
+        """
+        if pre is not None:
+            verdicts = self.eval_bool_batch(pre, points)
+            passing = [i for i, v in enumerate(verdicts) if v.truthy]
+        else:
+            passing = list(range(len(points)))
+        outcomes = self.eval_batch(body, [points[i] for i in passing], ty)
+        results: list[PointResult | None] = [None] * len(points)
+        for i, outcome in zip(passing, outcomes):
+            results[i] = outcome
+        return results
+
     def counters(self) -> OracleCounters:
         """A snapshot of this backend's work counters."""
         return OracleCounters()
@@ -168,7 +200,7 @@ class OracleBackend:
     # --- shared instrumentation -----------------------------------------------
 
     def _record_batch(
-        self, points: int, fastpath: int, escalated: int
+        self, points: int, fastpath: int, escalated: int, dd: int = 0
     ) -> None:
         """Bump batch metrics for one ``eval_batch``/``eval_bool_batch``."""
         METRICS.counter(
@@ -182,6 +214,19 @@ class OracleBackend:
             "(no mpmath escalation).",
             backend=self.name,
         ).inc(fastpath)
+        for rung, hits in (
+            ("longdouble", fastpath - dd),
+            ("dd", dd),
+            ("ladder", escalated),
+        ):
+            if hits:
+                METRICS.counter(
+                    "repro_oracle_rung_points",
+                    "Batched points settled per cascade rung "
+                    "(longdouble sweep, double-double, mpmath ladder).",
+                    backend=self.name,
+                    rung=rung,
+                ).inc(hits)
         METRICS.histogram(
             "repro_oracle_batch_size",
             "Distribution of oracle batch sizes (points per call).",

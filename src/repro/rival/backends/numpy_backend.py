@@ -33,7 +33,6 @@ from __future__ import annotations
 
 import math
 import threading
-from collections import OrderedDict
 from fractions import Fraction
 from typing import Sequence
 
@@ -53,10 +52,12 @@ from .base import (
     OracleCounters,
     PointResult,
 )
+from .dd import DoubleDoubleRung
 from .mpmath_backend import MpmathBackend
+from .rungs import ProgramCache, Rung, Unsupported, run_cascade
 
 
-class _Unsupported(Exception):
+class _Unsupported(Unsupported):
     """The expression has no faithful vector mirror; use the ladder."""
 
 
@@ -762,47 +763,19 @@ def _target_round(fmt: _Format, values):
     return sig.astype(np.float64)
 
 
-class NumpyBackend(OracleBackend):
-    """Vectorized fast path with the mpmath ladder as its escalation rung."""
+class LongDoubleRung(Rung):
+    """Rung 1: one extended-precision (``np.longdouble``) interval sweep.
 
-    name = "numpy"
+    ~11 bits of headroom over binary64 (or a float64 sweep with >= 29
+    bits of headroom for narrower targets); settles everything except
+    deep cancellation, which rung 2 (:class:`~.dd.DoubleDoubleRung`)
+    re-examines with ~106 effective bits.
+    """
 
-    #: Compiled-program cache bound (programs are small; expressions
-    #: churn during improvement loops).
-    max_programs = 256
+    name = "longdouble"
 
-    def __init__(self, fallback: MpmathBackend):
-        self.fallback = fallback
-        self.evaluator = fallback.evaluator
-        self._programs: OrderedDict[tuple, _Program | None] = OrderedDict()
-        self._programs_lock = threading.Lock()
-        self._counters = OracleCounters()
-        self._counters_lock = threading.Lock()
-
-    # --- point-at-a-time: straight to the ladder ------------------------------
-
-    def eval(self, expr, point, ty=F64):
-        return self.fallback.eval(expr, point, ty)
-
-    def eval_bool(self, expr, point):
-        return self.fallback.eval_bool(expr, point)
-
-    # --- program cache --------------------------------------------------------
-
-    def _program(self, key: tuple, build) -> _Program | None:
-        with self._programs_lock:
-            if key in self._programs:
-                self._programs.move_to_end(key)
-                return self._programs[key]
-        try:
-            program = build()
-        except _Unsupported:
-            program = None
-        with self._programs_lock:
-            self._programs[key] = program
-            while len(self._programs) > self.max_programs:
-                self._programs.popitem(last=False)
-        return program
+    def __init__(self, max_programs: int = 256):
+        self._cache = ProgramCache(max_programs)
 
     def _real_program(self, expr: Expr, ty: str) -> _Program | None:
         fmt = _format_for(ty)
@@ -814,7 +787,7 @@ class NumpyBackend(OracleBackend):
             root = builder.real(expr)
             return _Program(fmt, builder.instrs, root=root)
 
-        return self._program((expr, ty), build)
+        return self._cache.get((expr, ty), build)
 
     def _bool_program(self, expr: Expr) -> _Program | None:
         # Boolean decisions compare real subterms; evaluate those in the
@@ -828,17 +801,87 @@ class NumpyBackend(OracleBackend):
             root = builder.boolean(expr)
             return _Program(fmt, builder.instrs, bool_root=root)
 
-        return self._program((expr, "bool"), build)
+        return self._cache.get((expr, "bool"), build)
+
+    def evaluate(
+        self, expr: Expr, points: Sequence[dict], ty: str
+    ) -> list[PointResult | None] | None:
+        program = self._real_program(expr, ty)
+        if program is None or not points:
+            return None
+        n = len(points)
+        try:
+            result = program.run(points)
+        except KeyError:
+            # A missing variable fails every point identically; mirror
+            # the per-point KeyError the ladder raises.
+            return [PointResult(INVALID)] * n
+        with np.errstate(all="ignore"):
+            rlo = _target_round(program.fmt, result.lo)
+            rhi = _target_round(program.fmt, result.hi)
+            accept = ~result.err & (rlo == rhi) & (rlo != 0)
+        # Pull masks/values into Python objects once; per-element numpy
+        # scalar indexing would dominate the batch on large sample sets.
+        cert_list = result.cert.tolist()
+        accept_list = accept.tolist()
+        value_list = rlo.astype(np.float64).tolist()
+        out: list[PointResult | None] = []
+        for i in range(n):
+            if cert_list[i]:
+                out.append(PointResult(DOMAIN_ERROR))
+            elif accept_list[i]:
+                out.append(PointResult(OK, value_list[i]))
+            else:
+                out.append(None)
+        return out
+
+
+class NumpyBackend(OracleBackend):
+    """Vectorized rung cascade with the mpmath ladder as its last rung.
+
+    Real-valued batches run the :func:`~.rungs.run_cascade` driver over
+    ``longdouble -> dd``; the surviving residue climbs the unchanged
+    mpmath escalation ladder.  Boolean batches use the longdouble sweep
+    only (the dd rung carries no boolean/conditional programs — an
+    ``if`` anywhere in an expression makes the whole expression
+    unsupported on rung 2, and its residue goes straight to the ladder).
+    """
+
+    name = "numpy"
+
+    #: Compiled-program cache bound per rung (programs are small;
+    #: expressions churn during improvement loops).
+    max_programs = 256
+
+    def __init__(self, fallback: MpmathBackend):
+        self.fallback = fallback
+        self.evaluator = fallback.evaluator
+        self._longdouble = LongDoubleRung(self.max_programs)
+        self._dd = DoubleDoubleRung(self.max_programs)
+        self._rungs = (self._longdouble, self._dd)
+        self._counters = OracleCounters()
+        self._counters_lock = threading.Lock()
+
+    # --- point-at-a-time: straight to the ladder ------------------------------
+
+    def eval(self, expr, point, ty=F64):
+        return self.fallback.eval(expr, point, ty)
+
+    def eval_bool(self, expr, point):
+        return self.fallback.eval_bool(expr, point)
 
     # --- counters -------------------------------------------------------------
 
-    def _bump(self, points: int, fastpath: int, escalated: int) -> None:
+    def _bump(
+        self, points: int, fastpath: int, escalated: int, dd: int = 0
+    ) -> None:
         with self._counters_lock:
             self._counters.batch_calls += 1
             self._counters.batch_points += points
             self._counters.fastpath_hits += fastpath
             self._counters.escalated_points += escalated
-        self._record_batch(points, fastpath=fastpath, escalated=escalated)
+            self._counters.dd_hits += dd
+        self._record_batch(points, fastpath=fastpath, escalated=escalated, dd=dd)
 
     def counters(self) -> OracleCounters:
         # Includes the fallback's own counters: whole batches of
@@ -856,47 +899,34 @@ class NumpyBackend(OracleBackend):
     def eval_batch(self, expr, points, ty=F64) -> list[PointResult]:
         check_deadline()
         n = len(points)
-        program = self._real_program(expr, ty)
-        if program is None or n == 0:
+        if n == 0:
             return self.fallback.eval_batch(expr, points, ty)
-        try:
-            result = program.run(points)
-        except KeyError:
-            # A missing variable fails every point identically; mirror
-            # the per-point KeyError the ladder raises.
-            self._bump(n, fastpath=0, escalated=0)
-            return [PointResult(INVALID)] * n
-        with np.errstate(all="ignore"):
-            rlo = _target_round(program.fmt, result.lo)
-            rhi = _target_round(program.fmt, result.hi)
-            accept = ~result.err & (rlo == rhi) & (rlo != 0)
-        # Pull masks/values into Python objects once; per-element numpy
-        # scalar indexing would dominate the batch on large sample sets.
-        cert_list = result.cert.tolist()
-        accept_list = accept.tolist()
-        value_list = rlo.astype(np.float64).tolist()
-        results: list[PointResult | None] = [None] * n
-        residue: list[int] = []
-        for i in range(n):
-            if cert_list[i]:
-                results[i] = PointResult(DOMAIN_ERROR)
-            elif accept_list[i]:
-                results[i] = PointResult(OK, value_list[i])
-            else:
-                residue.append(i)
+        results, residue, hits, applicable = run_cascade(
+            self._rungs, expr, points, ty
+        )
+        if not applicable:
+            # No rung could compile the expression for this target:
+            # delegate the whole batch so counters follow the historical
+            # fallback path.
+            return self.fallback.eval_batch(expr, points, ty)
         if residue:
             laddered = self.fallback._ladder_batch(
                 expr, [points[i] for i in residue], ty
             )
             for i, outcome in zip(residue, laddered):
                 results[i] = outcome
-        self._bump(n, fastpath=n - len(residue), escalated=len(residue))
+        self._bump(
+            n,
+            fastpath=n - len(residue),
+            escalated=len(residue),
+            dd=hits.get(DoubleDoubleRung.name, 0),
+        )
         return results  # type: ignore[return-value]
 
     def eval_bool_batch(self, expr, points) -> list[PointResult]:
         check_deadline()
         n = len(points)
-        program = self._bool_program(expr)
+        program = self._longdouble._bool_program(expr)
         if program is None or n == 0:
             return self.fallback.eval_bool_batch(expr, points)
         try:

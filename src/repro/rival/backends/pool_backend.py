@@ -22,6 +22,7 @@ in-process fallback backend instead.
 
 from __future__ import annotations
 
+import os
 import threading
 from typing import Sequence
 
@@ -35,7 +36,26 @@ from .numpy_backend import NumpyBackend
 
 #: Batches below this many points run in-process: the pickle round-trip
 #: and dispatch latency beat the ladder only once a chunk has real work.
+#: Overridable per instance (constructor) or per process
+#: (``REPRO_ORACLE_POOL_MIN_BATCH``).
 MIN_POOL_POINTS = 64
+
+
+def _resolve_min_pool_points(value: int | None = None) -> int:
+    """Sharding threshold: explicit argument, then environment, then 64."""
+    if value is not None:
+        return max(1, int(value))
+    raw = os.environ.get("REPRO_ORACLE_POOL_MIN_BATCH", "").strip()
+    if raw:
+        try:
+            parsed = int(raw)
+        except ValueError:
+            raise ValueError(
+                "REPRO_ORACLE_POOL_MIN_BATCH must be an integer, "
+                f"got {raw!r}"
+            ) from None
+        return max(1, parsed)
+    return MIN_POOL_POINTS
 
 #: Per-worker oracle instances, keyed by the ladder's precision tuple.
 #: Module-level so warm workers reuse their evaluator (and its compiled
@@ -57,11 +77,14 @@ def _worker_oracle(precisions: tuple) -> NumpyBackend:
 def _oracle_worker_chunk(task: dict) -> dict:
     """Evaluate one batch shard inside a pool worker.
 
-    ``task`` is ``{"kind": "real"|"bool", "source": sexpr, "ty": str,
-    "points": [...], "precisions": (...)}``; returns point-ordered
-    ``(status, value)`` pairs plus this chunk's counter deltas (including
-    the worker evaluator's ``evals``/``escalations``, which have no other
-    way home).
+    ``task`` is ``{"kind": "real"|"bool"|"sample", "source": sexpr,
+    "ty": str, "points": [...], "precisions": (...)}`` — ``"sample"``
+    chunks additionally carry ``"pre"`` (a precondition sexpr or None)
+    and run the whole sampler iteration (filter + body) worker-side.
+    Returns point-ordered ``(status, value)`` pairs (``None`` for sample
+    points the precondition rejected) plus this chunk's counter deltas
+    (including the worker evaluator's ``evals``/``escalations``, which
+    have no other way home).
     """
     oracle = _worker_oracle(tuple(task["precisions"]))
     evaluator = oracle.evaluator
@@ -70,6 +93,9 @@ def _oracle_worker_chunk(task: dict) -> dict:
     expr = parse_expr(task["source"])
     if task["kind"] == "bool":
         results = oracle.eval_bool_batch(expr, task["points"])
+    elif task["kind"] == "sample":
+        pre = parse_expr(task["pre"]) if task["pre"] else None
+        results = oracle.sample_batch(pre, expr, task["points"], task["ty"])
     else:
         results = oracle.eval_batch(expr, task["points"], task["ty"])
     counters = oracle.counters()
@@ -84,7 +110,9 @@ def _oracle_worker_chunk(task: dict) -> dict:
     deltas["batch_calls"] = 0
     deltas["batch_points"] = 0
     return {
-        "results": [(r.status, r.value) for r in results],
+        "results": [
+            None if r is None else (r.status, r.value) for r in results
+        ],
         "counters": deltas,
     }
 
@@ -100,7 +128,7 @@ class PoolOracleBackend(OracleBackend):
         *,
         pool_provider=None,
         config_provider=None,
-        min_pool_points: int = MIN_POOL_POINTS,
+        min_pool_points: int | None = None,
     ):
         #: In-process backend for point calls and small batches.
         self.fallback = fallback
@@ -111,7 +139,9 @@ class PoolOracleBackend(OracleBackend):
         #: Zero-arg callable returning ``(CompileConfig, SampleConfig)``
         #: for the pool's worker-initialization fingerprint.
         self._config_provider = config_provider
-        self.min_pool_points = min_pool_points
+        #: Sharding threshold: constructor argument, then the
+        #: ``REPRO_ORACLE_POOL_MIN_BATCH`` environment knob, then 64.
+        self.min_pool_points = _resolve_min_pool_points(min_pool_points)
         self._counters = OracleCounters()
         self._counters_lock = threading.Lock()
 
@@ -143,18 +173,30 @@ class PoolOracleBackend(OracleBackend):
     def eval_bool_batch(self, expr, points) -> list[PointResult]:
         return self._sharded(expr, points, kind="bool", ty=F64)
 
+    def sample_batch(
+        self, pre, body, points: Sequence[dict], ty: str = F64
+    ) -> list[PointResult | None]:
+        """Shard whole sampler iterations: each worker filters its chunk
+        against the precondition and evaluates the survivors' bodies in
+        one round trip, so cancellation-bound sampling no longer
+        serializes on the parent's ladder between the two passes."""
+        return self._sharded(body, points, kind="sample", ty=ty, pre=pre)
+
     def _sharded(
-        self, expr, points: Sequence[dict], *, kind: str, ty: str
+        self, expr, points: Sequence[dict], *, kind: str, ty: str, pre=None
     ) -> list[PointResult]:
         pool = self._pool_provider() if self._pool_provider else None
         if pool is None or len(points) < self.min_pool_points:
             if kind == "bool":
                 return self.fallback.eval_bool_batch(expr, points)
+            if kind == "sample":
+                return self.fallback.sample_batch(pre, expr, points, ty)
             return self.fallback.eval_batch(expr, points, ty)
         config = sample_config = None
         if self._config_provider is not None:
             config, sample_config = self._config_provider()
         source = expr_to_sexpr(expr)
+        pre_source = expr_to_sexpr(pre) if pre is not None else None
         precisions = tuple(self.evaluator.precisions)
         chunk = max(
             self.min_pool_points,
@@ -170,25 +212,40 @@ class PoolOracleBackend(OracleBackend):
             }
             for start in range(0, len(points), chunk)
         ]
+        if kind == "sample":
+            for task in tasks:
+                task["pre"] = pre_source
         payloads = pool.run_tasks(
             _oracle_worker_chunk, tasks, config, sample_config
         )
-        results: list[PointResult] = []
+        results: list = []
         merged = OracleCounters()
         for payload in payloads:
             results.extend(
-                PointResult(status, value)
-                for status, value in payload["results"]
+                None if entry is None else PointResult(entry[0], entry[1])
+                for entry in payload["results"]
             )
             merged.merge(payload["counters"])
-        merged.batch_calls = 1
-        merged.batch_points = len(points)
+        if kind == "sample":
+            # Mirror the in-process composition's batch shape: one bool
+            # batch over every candidate plus one real batch over the
+            # precondition's survivors (or just the real batch when the
+            # core has no precondition).
+            passing = sum(1 for entry in results if entry is not None)
+            merged.batch_calls = 2 if pre is not None else 1
+            merged.batch_points = (
+                len(points) + passing if pre is not None else len(points)
+            )
+        else:
+            merged.batch_calls = 1
+            merged.batch_points = len(points)
         merged.pool_chunks = len(tasks)
         with self._counters_lock:
             self._counters.merge(merged)
         self._record_batch(
-            len(points),
+            merged.batch_points,
             fastpath=merged.fastpath_hits,
             escalated=merged.escalated_points,
+            dd=merged.dd_hits,
         )
         return results

@@ -1346,6 +1346,18 @@ class ChassisSession:
                     backend.escalated_points + folded.escalated_points
                 ),
                 "pool_chunks": backend.pool_chunks + folded.pool_chunks,
+                # Per-rung cascade breakdown (in-process + pooled sources
+                # alike: worker dd hits fold home through JobOutcome).
+                "rungs": {
+                    "longdouble_hits": (
+                        backend.fastpath_hits + folded.fastpath_hits
+                        - backend.dd_hits - folded.dd_hits
+                    ),
+                    "dd_hits": backend.dd_hits + folded.dd_hits,
+                    "ladder_points": (
+                        backend.escalated_points + folded.escalated_points
+                    ),
+                },
             },
         }
 

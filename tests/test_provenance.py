@@ -642,13 +642,24 @@ class TestTrajectorySchema:
             "total_seconds": 0.5, "min_phase_coverage": 0.97,
         },
         "engine": {"summary": {"ops": 1}},
-        "oracle": {"numpy": {"throughput": 1}},
+        "oracle": {"geomean_speedup": 15.0, "fastpath_fraction": 0.98,
+                   "longdouble_fraction": 0.82, "dd_fraction": 0.16,
+                   "ladder_fraction": 0.02, "identical": True},
         "formats": {"fp16": {"all_validated": True}},
     }
 
     def test_complete_record_passes(self):
         bench = _load_bench_smoke()
         assert bench.validate_trajectory_record(self.GOOD) == []
+
+    def test_oracle_summary_requires_rung_fractions(self):
+        bench = _load_bench_smoke()
+        oracle = {k: v for k, v in self.GOOD["oracle"].items()
+                  if k != "dd_fraction"}
+        problems = bench.validate_trajectory_record(
+            {**self.GOOD, "oracle": oracle}
+        )
+        assert any("dd_fraction" in p for p in problems)
 
     def test_missing_summaries_fail_loudly(self):
         bench = _load_bench_smoke()
